@@ -1,0 +1,456 @@
+// bench_test.go hosts one benchmark per paper table and figure plus the
+// ablation and micro benchmarks called out in DESIGN.md. The macro
+// benches run shrunken experiments (few rounds, small stored row caps) so
+// `go test -bench=.` finishes in minutes; `cmd/experiments` runs the
+// full-scale regeneration. Custom metrics report the simulated totals the
+// figures plot, so benchmark output doubles as a shape check.
+package dbabandits
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dbabandits/internal/engine"
+	"dbabandits/internal/harness"
+	"dbabandits/internal/index"
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/mab"
+	"dbabandits/internal/optimizer"
+	"dbabandits/internal/workload"
+)
+
+// benchRounds keeps macro benches quick.
+const (
+	benchRounds      = 6
+	benchShiftRounds = 8
+	benchStoredRows  = 1500
+)
+
+func benchExperiment(b *testing.B, bench string, regime harness.Regime, rounds int) *harness.Experiment {
+	b.Helper()
+	exp, err := harness.New(harness.Options{
+		Benchmark:     bench,
+		Regime:        regime,
+		Rounds:        rounds,
+		ScaleFactor:   10,
+		MaxStoredRows: benchStoredRows,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exp
+}
+
+// runPair executes NoIndex/PDTool/MAB and reports their totals as
+// metrics.
+func runPair(b *testing.B, exp *harness.Experiment) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		totals := map[harness.TunerKind]float64{}
+		for _, kind := range []harness.TunerKind{harness.NoIndex, harness.PDTool, harness.MAB} {
+			res, err := exp.Run(kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _, _, total := res.Totals()
+			totals[kind] = total
+		}
+		b.ReportMetric(totals[harness.NoIndex], "noindex-sec")
+		b.ReportMetric(totals[harness.PDTool], "pdtool-sec")
+		b.ReportMetric(totals[harness.MAB], "mab-sec")
+	}
+}
+
+// --- Figures 2 & 3: static workloads ---
+
+func BenchmarkFig2StaticConvergence(b *testing.B) {
+	for _, bench := range workload.AllNames() {
+		b.Run(bench, func(b *testing.B) {
+			exp := benchExperiment(b, bench, harness.Static, benchRounds)
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FinalRoundExecSec(), "final-round-sec")
+			}
+		})
+	}
+}
+
+func BenchmarkFig3StaticTotals(b *testing.B) {
+	for _, bench := range workload.AllNames() {
+		b.Run(bench, func(b *testing.B) {
+			runPair(b, benchExperiment(b, bench, harness.Static, benchRounds))
+		})
+	}
+}
+
+// --- Figures 4 & 5: dynamic shifting workloads ---
+
+func BenchmarkFig4ShiftingConvergence(b *testing.B) {
+	for _, bench := range []string{"ssb", "tpch-skew"} {
+		b.Run(bench, func(b *testing.B) {
+			exp := benchExperiment(b, bench, harness.Shifting, benchShiftRounds)
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FinalRoundExecSec(), "final-round-sec")
+			}
+		})
+	}
+}
+
+func BenchmarkFig5ShiftingTotals(b *testing.B) {
+	for _, bench := range workload.AllNames() {
+		b.Run(bench, func(b *testing.B) {
+			runPair(b, benchExperiment(b, bench, harness.Shifting, benchShiftRounds))
+		})
+	}
+}
+
+// --- Figures 6 & 7: dynamic random workloads ---
+
+func BenchmarkFig6RandomConvergence(b *testing.B) {
+	for _, bench := range []string{"tpcds", "imdb"} {
+		b.Run(bench, func(b *testing.B) {
+			exp := benchExperiment(b, bench, harness.Random, benchRounds)
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FinalRoundExecSec(), "final-round-sec")
+			}
+		})
+	}
+}
+
+func BenchmarkFig7RandomTotals(b *testing.B) {
+	for _, bench := range workload.AllNames() {
+		b.Run(bench, func(b *testing.B) {
+			runPair(b, benchExperiment(b, bench, harness.Random, benchRounds))
+		})
+	}
+}
+
+// --- Table I: time breakdown ---
+
+func BenchmarkTable1Breakdown(b *testing.B) {
+	for _, regime := range []harness.Regime{harness.Static, harness.Shifting, harness.Random} {
+		rounds := benchRounds
+		if regime == harness.Shifting {
+			rounds = benchShiftRounds
+		}
+		b.Run(string(regime), func(b *testing.B) {
+			exp := benchExperiment(b, "tpch-skew", regime, rounds)
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec, create, exec, _ := res.Totals()
+				b.ReportMetric(rec, "recommend-sec")
+				b.ReportMetric(create, "create-sec")
+				b.ReportMetric(exec, "execute-sec")
+			}
+		})
+	}
+}
+
+// --- Table II: scale factors ---
+
+func BenchmarkTable2ScaleFactors(b *testing.B) {
+	for _, sf := range []float64{1, 10, 100} {
+		b.Run(fmt.Sprintf("sf%.0f", sf), func(b *testing.B) {
+			exp, err := harness.New(harness.Options{
+				Benchmark:     "tpch-skew",
+				Regime:        harness.Static,
+				Rounds:        benchRounds,
+				ScaleFactor:   sf,
+				MaxStoredRows: benchStoredRows,
+				Seed:          1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, _, total := res.Totals()
+				b.ReportMetric(total/60, "mab-min")
+			}
+		})
+	}
+}
+
+// --- Figure 8: DDQN vs MAB ---
+
+func BenchmarkFig8RLComparison(b *testing.B) {
+	for _, kind := range []harness.TunerKind{harness.MAB, harness.DDQN, harness.DDQNSC} {
+		b.Run(string(kind), func(b *testing.B) {
+			exp := benchExperiment(b, "tpch", harness.Static, benchRounds)
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, _, total := res.Totals()
+				b.ReportMetric(total, "total-sec")
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationContextEncoding compares the paper's column-prefix
+// context against a one-hot bag-of-columns.
+func BenchmarkAblationContextEncoding(b *testing.B) {
+	for _, oneHot := range []bool{false, true} {
+		name := "prefix"
+		if oneHot {
+			name = "onehot"
+		}
+		b.Run(name, func(b *testing.B) {
+			exp := benchExperiment(b, "tpch", harness.Static, benchRounds)
+			exp.Opts.MABOptions = mab.TunerOptions{
+				MemoryBudgetBytes: exp.Budget,
+				OneHotContext:     oneHot,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, _, total := res.Totals()
+				b.ReportMetric(total, "total-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationForgetting runs the shifting regime with and without
+// shift-scaled forgetting.
+func BenchmarkAblationForgetting(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			exp := benchExperiment(b, "tpch-skew", harness.Shifting, benchShiftRounds)
+			exp.Opts.MABOptions = mab.TunerOptions{
+				MemoryBudgetBytes: exp.Budget,
+				DisableForgetting: disabled,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, _, _, total := res.Totals()
+				b.ReportMetric(total, "total-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCreationPenalty removes the creation-time term from
+// rewards (inviting index oscillation).
+func BenchmarkAblationCreationPenalty(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "penalised"
+		if off {
+			name = "free-creation"
+		}
+		b.Run(name, func(b *testing.B) {
+			exp := benchExperiment(b, "ssb", harness.Static, benchRounds)
+			exp.Opts.MABOptions = mab.TunerOptions{
+				MemoryBudgetBytes: exp.Budget,
+				NoCreationPenalty: off,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, create, _, total := res.Totals()
+				b.ReportMetric(create, "create-sec")
+				b.ReportMetric(total, "total-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart compares cold start against what-if
+// pre-training (Section VII's cold-start mitigation).
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for _, warm := range []int{0, 3} {
+		name := "cold"
+		if warm > 0 {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			exp := benchExperiment(b, "ssb", harness.Static, benchRounds)
+			exp.Opts.MABWarmStartRounds = warm
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Run(harness.MAB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				early := 0.0
+				for _, r := range res.Rounds[:3] {
+					early += r.TotalSec()
+				}
+				b.ReportMetric(early, "first3-rounds-sec")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOracleFiltering compares the filtering oracle against
+// a naive top-k-by-score selection.
+func BenchmarkAblationOracleFiltering(b *testing.B) {
+	schema, db := benchArmFixture(b)
+	gen := mab.NewArmGenerator(schema, mab.ArmGenOptions{})
+	bench, _ := workload.ByName("tpch")
+	rng := rand.New(rand.NewSource(1))
+	var qs []*Query
+	for _, ts := range bench.Templates {
+		qs = append(qs, ts.Instantiate(rng, db, "tpch"))
+	}
+	arms := gen.Generate(qs)
+	scores := make([]float64, len(arms))
+	for i := range scores {
+		scores[i] = rng.Float64() * 100
+	}
+	budget := db.DataSizeBytes()
+	b.Run("filtering", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sel := mab.SelectSuperArm(arms, scores, budget)
+			b.ReportMetric(float64(len(sel)), "selected")
+		}
+	})
+	b.Run("naive-topk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// top-k by score ignoring subsumption/covering filters
+			var total int64
+			n := 0
+			for j := range arms {
+				if scores[j] > 0 && total+arms[j].SizeBytes <= budget {
+					total += arms[j].SizeBytes
+					n++
+				}
+			}
+			b.ReportMetric(float64(n), "selected")
+		}
+	})
+}
+
+// --- micro benchmarks of the hot paths ---
+
+func benchArmFixture(b *testing.B) (*Schema, *Database) {
+	b.Helper()
+	bench, err := workload.ByName("tpch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := bench.NewSchema()
+	db, err := BuildDatabase(schema, 10, benchStoredRows, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return schema, db
+}
+
+func BenchmarkRidgeObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dim := 128
+	rs := linalg.NewRidgeState(dim, 0.25)
+	x := linalg.NewVector(dim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Observe(x, 1.0)
+	}
+}
+
+func BenchmarkC2UCBScores(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 128
+	bandit := mab.NewC2UCB(dim, 0.25, nil)
+	bandit.BeginRound()
+	var ctxs []linalg.Vector
+	for k := 0; k < 200; k++ {
+		x := linalg.NewVector(dim)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		ctxs = append(ctxs, x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bandit.Scores(ctxs)
+	}
+}
+
+func BenchmarkArmGeneration(b *testing.B) {
+	schema, db := benchArmFixture(b)
+	gen := mab.NewArmGenerator(schema, mab.ArmGenOptions{})
+	bench, _ := workload.ByName("tpch")
+	rng := rand.New(rand.NewSource(3))
+	var qs []*Query
+	for _, ts := range bench.Templates {
+		qs = append(qs, ts.Instantiate(rng, db, "tpch"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Generate(qs)
+	}
+}
+
+func BenchmarkQueryExecution(b *testing.B) {
+	schema, db := benchArmFixture(b)
+	cm := engine.DefaultCostModel()
+	opt := optimizer.New(schema, cm)
+	bench, _ := workload.ByName("tpch")
+	rng := rand.New(rand.NewSource(4))
+	q := bench.Templates[2].Instantiate(rng, db, "tpch") // Q3: 3-way join
+	cfg := index.NewConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := opt.ChoosePlan(q, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Execute(db, plan, cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhatIfCost(b *testing.B) {
+	schema, db := benchArmFixture(b)
+	cm := engine.DefaultCostModel()
+	opt := optimizer.New(schema, cm)
+	bench, _ := workload.ByName("tpch")
+	rng := rand.New(rand.NewSource(5))
+	q := bench.Templates[4].Instantiate(rng, db, "tpch") // Q5: 6-way join
+	cfg := index.NewConfig()
+	cfg.Add(index.New("lineitem", []string{"l_shipdate"}, []string{"l_extendedprice", "l_discount"}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.WhatIfCost(q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

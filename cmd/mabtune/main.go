@@ -1,0 +1,78 @@
+// Command mabtune runs one benchmark x regime x tuner combination and
+// prints the per-round breakdown plus totals.
+//
+// Usage:
+//
+//	mabtune -bench tpch-skew -regime static -tuner mab -rounds 25 -sf 10
+//
+// Benchmarks: ssb, tpch, tpch-skew, tpcds, imdb.
+// Regimes:    static, shifting, random.
+// Tuners:     noindex, pdtool, mab, ddqn, ddqn-sc (comma-separated list
+// allowed; all run against the identical database and workload sequence).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbabandits/internal/harness"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "tpch", "benchmark: ssb|tpch|tpch-skew|tpcds|imdb")
+		regime  = flag.String("regime", "static", "workload regime: static|shifting|random")
+		tuners  = flag.String("tuner", "noindex,pdtool,mab", "comma-separated tuners: noindex|pdtool|mab|ddqn|ddqn-sc")
+		rounds  = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
+		sf      = flag.Float64("sf", 10, "scale factor")
+		rows    = flag.Int("rows", 5000, "max stored (physical) rows per table")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		budget  = flag.Float64("budget", 1, "memory budget as a multiple of data size")
+		series  = flag.Bool("series", false, "print per-round convergence series")
+		csvOut  = flag.Bool("csv", false, "print the series as CSV")
+		pdLimit = flag.Float64("pdtool-limit", 0, "PDTool per-invocation time limit (sec, 0=unlimited)")
+	)
+	flag.Parse()
+
+	exp, err := harness.New(harness.Options{
+		Benchmark:          *bench,
+		Regime:             harness.Regime(*regime),
+		Rounds:             *rounds,
+		ScaleFactor:        *sf,
+		MaxStoredRows:      *rows,
+		Seed:               *seed,
+		MemoryBudgetX:      *budget,
+		PDToolTimeLimitSec: *pdLimit,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mabtune:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark=%s regime=%s sf=%.0f rounds=%d data=%.2fGB budget=%.2fGB\n",
+		*bench, *regime, *sf, exp.Seq.Rounds(),
+		float64(exp.DB.DataSizeBytes())/(1<<30), float64(exp.Budget)/(1<<30))
+
+	var runs []*harness.RunResult
+	for _, name := range strings.Split(*tuners, ",") {
+		kind := harness.TunerKind(strings.TrimSpace(name))
+		res, err := exp.Run(kind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mabtune: %s: %v\n", kind, err)
+			os.Exit(1)
+		}
+		runs = append(runs, res)
+		rec, create, execT, total := res.Totals()
+		fmt.Printf("%-8s  recommend=%8.1fs  create=%8.1fs  execute=%9.1fs  total=%9.1fs  final-round-exec=%7.1fs\n",
+			kind, rec, create, execT, total, res.FinalRoundExecSec())
+	}
+
+	if *csvOut {
+		fmt.Print(harness.SeriesCSV(runs))
+	} else if *series {
+		fmt.Println()
+		harness.RenderConvergence(os.Stdout, fmt.Sprintf("%s %s", *bench, *regime), runs)
+	}
+}

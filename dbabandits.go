@@ -1,0 +1,170 @@
+// Package dbabandits is a Go reproduction of "DBA bandits: Self-driving
+// index tuning under ad-hoc, analytical workloads with safety guarantees"
+// (Perera, Oetomo, Rubinstein, Borovica-Gajic — ICDE 2021).
+//
+// It provides:
+//
+//   - the C2UCB contextual combinatorial bandit tuner for online index
+//     selection (the paper's contribution), with dynamic workload-driven
+//     arm generation, prefix-encoded contexts, a greedy knapsack super-arm
+//     oracle, execution-gain reward shaping and shift-scaled forgetting;
+//   - a self-contained analytical DBMS simulator (storage, deliberately
+//     uniformity/AVI-limited optimiser, true-cost executor) to tune
+//     against;
+//   - the paper's comparison baselines: an offline what-if physical
+//     design tool and a DDQN agent;
+//   - the five benchmark suites (TPC-H, TPC-H Skew, SSB, TPC-DS,
+//     JOB/IMDb) and the three workload regimes (static, shifting,
+//     random); and
+//   - an experiment harness regenerating every figure and table of the
+//     paper's evaluation.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	exp, err := dbabandits.NewExperiment(dbabandits.ExperimentOptions{
+//	    Benchmark: "tpch", Regime: dbabandits.Static, Seed: 1,
+//	})
+//	res, err := exp.Run(dbabandits.MAB)
+//	rec, create, exec, total := res.Totals()
+//
+// For custom integrations, NewTuner returns the bandit tuner directly: feed
+// it each round's observed workload, materialise its recommendations, and
+// report back per-query execution statistics.
+package dbabandits
+
+import (
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/datagen"
+	"dbabandits/internal/engine"
+	"dbabandits/internal/harness"
+	"dbabandits/internal/index"
+	"dbabandits/internal/mab"
+	"dbabandits/internal/optimizer"
+	"dbabandits/internal/query"
+	"dbabandits/internal/storage"
+	"dbabandits/internal/workload"
+)
+
+// Core tuner types (the paper's contribution).
+type (
+	// Tuner is the MAB index tuner implementing Algorithm 2.
+	Tuner = mab.Tuner
+	// TunerOptions configures the tuner (budget, exploration, ablations).
+	TunerOptions = mab.TunerOptions
+	// Recommendation is one round's output: the configuration to
+	// materialise plus the modelled recommendation time.
+	Recommendation = mab.Recommendation
+	// Arm is one candidate index with its motivating queries.
+	Arm = mab.Arm
+	// QueryStore aggregates observed workload templates.
+	QueryStore = mab.QueryStore
+)
+
+// Simulator types.
+type (
+	// Schema describes a database schema with statistics.
+	Schema = catalog.Schema
+	// Table is one table's logical definition.
+	Table = catalog.Table
+	// Database is a materialised (physical) database.
+	Database = storage.Database
+	// Query is a structured conjunctive analytical query.
+	Query = query.Query
+	// Predicate is a single-column filter.
+	Predicate = query.Predicate
+	// Index is a secondary-index definition.
+	Index = index.Index
+	// IndexConfig is a set of secondary indexes (a "configuration").
+	IndexConfig = index.Config
+	// CostModel holds the simulator's physical cost constants.
+	CostModel = engine.CostModel
+	// ExecStats reports one query's true execution observations.
+	ExecStats = engine.ExecStats
+	// Optimizer is the simulated (uniformity+AVI) query optimiser with a
+	// what-if interface.
+	Optimizer = optimizer.Optimizer
+	// Benchmark is a workload suite (schema plus templates).
+	Benchmark = workload.Benchmark
+)
+
+// Experiment harness types.
+type (
+	// Experiment is a prepared benchmark environment.
+	Experiment = harness.Experiment
+	// ExperimentOptions configures an experiment.
+	ExperimentOptions = harness.Options
+	// RunResult aggregates a run's per-round breakdown.
+	RunResult = harness.RunResult
+	// RoundResult is one round's breakdown.
+	RoundResult = harness.RoundResult
+	// TunerKind selects a tuning strategy.
+	TunerKind = harness.TunerKind
+	// Regime selects a workload regime.
+	Regime = harness.Regime
+)
+
+// Tuning strategies.
+const (
+	NoIndex = harness.NoIndex
+	PDTool  = harness.PDTool
+	MAB     = harness.MAB
+	DDQN    = harness.DDQN
+	DDQNSC  = harness.DDQNSC
+)
+
+// Workload regimes.
+const (
+	Static   = harness.Static
+	Shifting = harness.Shifting
+	Random   = harness.Random
+)
+
+// NewTuner constructs the MAB tuner for a schema. dbSizeBytes normalises
+// the context's relative-size component (use Schema.DataSizeBytes()).
+func NewTuner(schema *Schema, dbSizeBytes int64, opts TunerOptions) *Tuner {
+	return mab.NewTuner(schema, dbSizeBytes, opts)
+}
+
+// NewExperiment prepares a benchmark experiment (data generation, cost
+// model, optimiser, workload sequencer).
+func NewExperiment(opts ExperimentOptions) (*Experiment, error) {
+	return harness.New(opts)
+}
+
+// BenchmarkByName returns one of the five benchmark suites: "ssb",
+// "tpch", "tpch-skew", "tpcds" or "imdb".
+func BenchmarkByName(name string) (*Benchmark, error) {
+	return workload.ByName(name)
+}
+
+// BuildDatabase materialises a schema into a physical database at the
+// given scale factor and physical row cap (0 caps at the default 20000).
+func BuildDatabase(schema *Schema, scaleFactor float64, maxStoredRows int, seed int64) (*Database, error) {
+	return datagen.Build(schema, datagen.Options{
+		ScaleFactor:   scaleFactor,
+		MaxStoredRows: maxStoredRows,
+		Seed:          seed,
+	})
+}
+
+// NewOptimizer returns the simulated query optimiser over the schema.
+func NewOptimizer(schema *Schema, cm *CostModel) *Optimizer {
+	return optimizer.New(schema, cm)
+}
+
+// DefaultCostModel returns the cost constants used by the experiments.
+func DefaultCostModel() *CostModel { return engine.DefaultCostModel() }
+
+// ExecutePlan runs a plan against the database and returns the true
+// (simulated) execution observations.
+func ExecutePlan(db *Database, plan *engine.Plan, cm *CostModel) (*ExecStats, error) {
+	return engine.Execute(db, plan, cm)
+}
+
+// NewIndexConfig returns an empty index configuration.
+func NewIndexConfig() *IndexConfig { return index.NewConfig() }
+
+// NewIndex constructs a secondary-index definition.
+func NewIndex(table string, key, include []string) *Index {
+	return index.New(table, key, include)
+}

@@ -1,0 +1,89 @@
+// Ad-hoc workload example: drives the tuner directly through its public
+// API (not the harness) against a random query stream — the integration
+// shape a real deployment would use: observe the last round's queries,
+// materialise the recommendation, execute, feed back statistics.
+//
+//	go run ./examples/adhoc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dbabandits"
+)
+
+func main() {
+	bench, err := dbabandits.BenchmarkByName("tpcds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := bench.NewSchema()
+	db, err := dbabandits.BuildDatabase(schema, 10, 3000, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm := dbabandits.DefaultCostModel()
+	opt := dbabandits.NewOptimizer(schema, cm)
+	tuner := dbabandits.NewTuner(schema, db.DataSizeBytes(), dbabandits.TunerOptions{
+		MemoryBudgetBytes: db.DataSizeBytes(), // 1x data budget
+	})
+
+	rng := rand.New(rand.NewSource(7))
+	var lastRound []*dbabandits.Query
+
+	fmt.Println("round  queries  arms  indexes  create(s)  execute(s)")
+	for round := 1; round <= 12; round++ {
+		// 1) The tuner observes the previous round and recommends the
+		//    next configuration.
+		rec := tuner.Recommend(lastRound)
+
+		// 2) Materialise the recommendation (charge creation time).
+		var createSec float64
+		creation := map[string]float64{}
+		for _, ix := range rec.ToCreate {
+			meta, _ := schema.Table(ix.Table)
+			sec := cm.IndexBuildSec(meta, ix.SizeBytes(meta))
+			creation[ix.ID()] = sec
+			createSec += sec
+		}
+
+		// 3) An ad-hoc workload arrives: a random handful of templates.
+		var workload []*dbabandits.Query
+		n := 8 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			ts := bench.Templates[rng.Intn(len(bench.Templates))]
+			workload = append(workload, ts.Instantiate(rng, db, "tpcds"))
+		}
+
+		// 4) Execute under the recommended configuration and collect the
+		//    observations the bandit learns from.
+		var stats []*dbabandits.ExecStats
+		var execSec float64
+		for _, q := range workload {
+			plan, err := opt.ChoosePlan(q, rec.Config)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, err := dbabandits.ExecutePlan(db, plan, cm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats = append(stats, st)
+			execSec += st.TotalSec
+		}
+
+		// 5) Close the loop.
+		tuner.ObserveExecution(stats, creation)
+		lastRound = workload
+
+		fmt.Printf("%5d %8d %5d %8d %10.1f %11.1f\n",
+			round, len(workload), rec.NumArms, rec.Config.Len(), createSec, execSec)
+	}
+
+	fmt.Println("\nfinal configuration:")
+	for _, id := range tuner.Config().IDs() {
+		fmt.Println("  ", id)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: run the MAB tuner against the TPC-H benchmark in the
+// static regime for a handful of rounds and print what it learned.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbabandits"
+)
+
+func main() {
+	// An Experiment bundles a generated benchmark database, the simulated
+	// optimiser/executor, and a workload sequencer.
+	exp, err := dbabandits.NewExperiment(dbabandits.ExperimentOptions{
+		Benchmark:     "tpch",
+		Regime:        dbabandits.Static,
+		Rounds:        10,
+		ScaleFactor:   10,
+		MaxStoredRows: 3000,
+		Seed:          42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("database: %.2f GB logical, index budget %.2f GB\n",
+		float64(exp.DB.DataSizeBytes())/(1<<30), float64(exp.Budget)/(1<<30))
+
+	baseline, err := exp.Run(dbabandits.NoIndex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := exp.Run(dbabandits.MAB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nround   NoIndex(s)   MAB(s)   MAB indexes")
+	for i := range tuned.Rounds {
+		fmt.Printf("%5d %12.1f %8.1f %13d\n",
+			i+1, baseline.Rounds[i].TotalSec(), tuned.Rounds[i].TotalSec(), tuned.Rounds[i].NumIndexes)
+	}
+
+	_, _, execBase, _ := baseline.Totals()
+	rec, create, execMAB, total := tuned.Totals()
+	fmt.Printf("\nNoIndex execution total: %.1fs\n", execBase)
+	fmt.Printf("MAB: recommend=%.1fs create=%.1fs execute=%.1fs total=%.1fs\n",
+		rec, create, execMAB, total)
+	fmt.Printf("final-round speed-up over NoIndex: %.0f%%\n",
+		(1-tuned.FinalRoundExecSec()/baseline.FinalRoundExecSec())*100)
+}

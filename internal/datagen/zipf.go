@@ -1,0 +1,51 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// zipf draws ranks 0..n-1 with probability proportional to 1/(rank+1)^s
+// for any exponent s > 0. The standard library's rand.Zipf requires s > 1;
+// the TPC-H Skew benchmark needs arbitrary exponents (the paper uses
+// zipfian factor 4, other literature commonly uses 0.5-1), so sampling is
+// done by inverse-CDF lookup over a precomputed table. Domains are capped
+// to keep the table small.
+type zipf struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+const maxZipfDomain = 1 << 18
+
+func newZipf(rng *rand.Rand, s float64, n int64) (*zipf, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("zipf exponent must be positive, got %g", s)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf domain must be positive, got %d", n)
+	}
+	if n > maxZipfDomain {
+		return nil, fmt.Errorf("zipf domain %d exceeds maximum %d; shrink the column domain", n, maxZipfDomain)
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for i := int64(0); i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	inv := 1 / total
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against fp shortfall
+	return &zipf{rng: rng, cdf: cdf}, nil
+}
+
+// Next returns the next rank in [0, n).
+func (z *zipf) Next() int64 {
+	u := z.rng.Float64()
+	return int64(sort.SearchFloat64s(z.cdf, u))
+}

@@ -1,0 +1,260 @@
+package ddqn
+
+import (
+	"math"
+	"math/rand"
+
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/mab"
+)
+
+// transition is one replay-buffer entry: the chosen arm's context, the
+// observed reward, and the candidate contexts available at the next
+// decision point (for the double-Q bootstrap).
+type transition struct {
+	x    []float64
+	r    float64
+	next [][]float64
+}
+
+// AgentOptions configure the DDQN agent. Defaults follow the paper's
+// Section V-C experiment setup.
+type AgentOptions struct {
+	// Hidden is the hidden layout; default 4 layers of 8 neurons.
+	Hidden []int
+	// Gamma is the discount factor; default 0.99.
+	Gamma float64
+	// EpsStart/EpsEnd/EpsDecaySamples define the exponential exploration
+	// decay: epsilon starts at EpsStart and reaches EpsEnd at sample
+	// EpsDecaySamples. Defaults 1.0 / 0.01 / 2400.
+	EpsStart        float64
+	EpsEnd          float64
+	EpsDecaySamples int
+	// LR is the SGD learning rate; default 5e-3.
+	LR float64
+	// BufferSize / BatchSize / TrainStepsPerRound control replay
+	// training; defaults 2048 / 32 / 8.
+	BufferSize         int
+	BatchSize          int
+	TrainStepsPerRound int
+	// TargetSyncEvery synchronises the target network every N training
+	// rounds; default 5.
+	TargetSyncEvery int
+	// SingleColumn restricts candidates to single-column indexes (the
+	// DDQN-SC variant of Sharma et al. as run in Figure 8).
+	SingleColumn bool
+	// RewardScale divides rewards before regression to keep targets in a
+	// numerically friendly range; default 100 (seconds).
+	RewardScale float64
+	// Seed drives all randomisation (exploration and initial weights).
+	Seed int64
+}
+
+func (o AgentOptions) withDefaults() AgentOptions {
+	if o.Hidden == nil {
+		o.Hidden = []int{8, 8, 8, 8}
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.99
+	}
+	if o.EpsStart == 0 {
+		o.EpsStart = 1
+	}
+	if o.EpsEnd == 0 {
+		o.EpsEnd = 0.01
+	}
+	if o.EpsDecaySamples == 0 {
+		o.EpsDecaySamples = 2400
+	}
+	if o.LR == 0 {
+		o.LR = 5e-3
+	}
+	if o.BufferSize == 0 {
+		o.BufferSize = 2048
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	if o.TrainStepsPerRound == 0 {
+		o.TrainStepsPerRound = 8
+	}
+	if o.TargetSyncEvery == 0 {
+		o.TargetSyncEvery = 5
+	}
+	if o.RewardScale == 0 {
+		o.RewardScale = 100
+	}
+	return o
+}
+
+// Agent is the DDQN index-selection agent. It consumes the same arms and
+// contexts as the MAB tuner; the Q-network maps an arm's context to its
+// estimated value, and rounds are selected epsilon-greedily. When the
+// agent explores, the whole round's selection is random (as in the
+// paper: "if the agent decides to explore, then the choice of the set of
+// indices will be randomly made for that entire round").
+type Agent struct {
+	opts   AgentOptions
+	rng    *rand.Rand
+	online *MLP
+	target *MLP
+	buffer []transition
+	bufPos int
+	full   bool
+
+	samples     int // arms chosen so far (epsilon decay clock)
+	trainRounds int
+}
+
+// NewAgent constructs the agent for the given context dimension.
+func NewAgent(dim int, opts AgentOptions) *Agent {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	online := NewMLP(rng, dim, opts.Hidden)
+	return &Agent{
+		opts:   opts,
+		rng:    rng,
+		online: online,
+		target: online.Clone(),
+		buffer: make([]transition, 0, opts.BufferSize),
+	}
+}
+
+// Epsilon returns the current exploration probability (exponential decay
+// from EpsStart to EpsEnd over EpsDecaySamples samples).
+func (a *Agent) Epsilon() float64 {
+	o := a.opts
+	if a.samples >= o.EpsDecaySamples {
+		return o.EpsEnd
+	}
+	rate := math.Log(o.EpsStart/o.EpsEnd) / float64(o.EpsDecaySamples)
+	return o.EpsStart * math.Exp(-rate*float64(a.samples))
+}
+
+// ParamCount exposes the trainable parameter count.
+func (a *Agent) ParamCount() int { return a.online.ParamCount() }
+
+// FilterArms applies the variant's candidate restriction (DDQN-SC keeps
+// single-column key-only arms).
+func (a *Agent) FilterArms(arms []*mab.Arm, contexts []linalg.Vector) ([]*mab.Arm, []linalg.Vector) {
+	if !a.opts.SingleColumn {
+		return arms, contexts
+	}
+	var fa []*mab.Arm
+	var fc []linalg.Vector
+	for i, arm := range arms {
+		if len(arm.Index.Key) == 1 && len(arm.Index.Include) == 0 {
+			fa = append(fa, arm)
+			fc = append(fc, contexts[i])
+		}
+	}
+	return fa, fc
+}
+
+// SelectConfig chooses a set of arms within the memory budget. One call
+// corresponds to one round; each arm chosen counts as one sample for the
+// epsilon schedule.
+func (a *Agent) SelectConfig(arms []*mab.Arm, contexts []linalg.Vector, budgetBytes int64) []*mab.Arm {
+	arms, contexts = a.FilterArms(arms, contexts)
+	if len(arms) == 0 {
+		return nil
+	}
+	explore := a.rng.Float64() < a.Epsilon()
+
+	type cand struct {
+		arm *mab.Arm
+		q   float64
+	}
+	cands := make([]cand, len(arms))
+	for i, arm := range arms {
+		var q float64
+		if explore {
+			q = a.rng.Float64()
+		} else {
+			q = a.online.Forward(contexts[i])
+		}
+		cands[i] = cand{arm: arm, q: q}
+	}
+	// Greedy fill by Q (or random priority when exploring).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].q > cands[j-1].q; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	var out []*mab.Arm
+	remaining := budgetBytes
+	for _, c := range cands {
+		if !explore && c.q <= 0 {
+			break
+		}
+		if c.arm.SizeBytes > remaining {
+			continue
+		}
+		out = append(out, c.arm)
+		remaining -= c.arm.SizeBytes
+		a.samples++
+		if explore && a.rng.Float64() < 0.5 {
+			// Random-length exploration rounds: stop early at random so
+			// the agent also explores small configurations.
+			break
+		}
+	}
+	return out
+}
+
+// Observe records the rewards of the previously selected arms and the
+// candidate contexts of the next decision point, then trains on replayed
+// minibatches with the double-Q target.
+func (a *Agent) Observe(contexts []linalg.Vector, rewards []float64, nextCandidates []linalg.Vector) {
+	next := make([][]float64, len(nextCandidates))
+	for i, x := range nextCandidates {
+		next[i] = x
+	}
+	for i, x := range contexts {
+		tr := transition{x: x, r: rewards[i] / a.opts.RewardScale, next: next}
+		if len(a.buffer) < a.opts.BufferSize {
+			a.buffer = append(a.buffer, tr)
+		} else {
+			a.buffer[a.bufPos] = tr
+			a.bufPos = (a.bufPos + 1) % a.opts.BufferSize
+			a.full = true
+		}
+	}
+	if len(a.buffer) == 0 {
+		return
+	}
+	for step := 0; step < a.opts.TrainStepsPerRound; step++ {
+		for b := 0; b < a.opts.BatchSize; b++ {
+			tr := a.buffer[a.rng.Intn(len(a.buffer))]
+			y := tr.r + a.opts.Gamma*a.doubleQBootstrap(tr.next)
+			a.online.TrainStep(tr.x, y, a.opts.LR)
+		}
+	}
+	a.trainRounds++
+	if a.trainRounds%a.opts.TargetSyncEvery == 0 {
+		a.target.CopyFrom(a.online)
+	}
+}
+
+// doubleQBootstrap returns Q_target(s', argmax_a Q_online(s', a)) over the
+// next decision point's candidates; zero when there are none (terminal).
+func (a *Agent) doubleQBootstrap(next [][]float64) float64 {
+	if len(next) == 0 {
+		return 0
+	}
+	bestIdx := 0
+	bestQ := math.Inf(-1)
+	for i, x := range next {
+		if q := a.online.Forward(x); q > bestQ {
+			bestQ = q
+			bestIdx = i
+		}
+	}
+	v := a.target.Forward(next[bestIdx])
+	if v < 0 {
+		// The agent can always choose an empty configuration, so the
+		// continuation value is bounded below by zero.
+		return 0
+	}
+	return v
+}

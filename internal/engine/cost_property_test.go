@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbabandits/internal/catalog"
+)
+
+// Cost-model monotonicity properties: every formula must be
+// non-decreasing in its volume arguments — a cost model that rewards
+// doing more work would let the optimiser and the bandit learn nonsense.
+
+func bigMeta(rows int64) *catalog.Table {
+	t := &catalog.Table{
+		Name:     "m",
+		BaseRows: rows,
+		RowCount: rows,
+		Columns: []catalog.Column{
+			{Name: "a", Kind: catalog.KindInt},
+			{Name: "b", Kind: catalog.KindInt},
+		},
+	}
+	return t
+}
+
+func TestQuickTableScanMonotoneInRows(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(r1, r2 uint32) bool {
+		a, b := int64(r1%10_000_000)+1, int64(r2%10_000_000)+1
+		if a > b {
+			a, b = b, a
+		}
+		return cm.TableScanSec(bigMeta(a), 1) <= cm.TableScanSec(bigMeta(b), 1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSeekMonotoneInMatches(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(m1, m2 uint32) bool {
+		a, b := float64(m1%1_000_000), float64(m2%1_000_000)
+		if a > b {
+			a, b = b, a
+		}
+		pages := 100000.0
+		return cm.IndexSeekSec(a, a, 24, pages) <= cm.IndexSeekSec(b, b, 24, pages)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHashJoinMonotone(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(b1, p1, b2, p2 uint32) bool {
+		lb, lp := float64(b1%5_000_000), float64(p1%5_000_000)
+		hb, hp := lb+float64(b2%1000), lp+float64(p2%1000)
+		return cm.HashJoinSec(lb, lp) <= cm.HashJoinSec(hb, hp)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNLJoinCapBinds(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(probes uint32) bool {
+		p := float64(probes%100_000_000) + 1
+		innerPages := 5000.0
+		v := cm.NLJoinSec(p, 0, 0, 16, innerPages)
+		ioCap := cm.NLJoinIOCap * innerPages * cm.SeqPageSec
+		cpu := p * cm.CPUTupleSec
+		return v <= ioCap+cpu+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBuildCostMonotoneInSize(t *testing.T) {
+	cm := DefaultCostModel()
+	meta := bigMeta(1_000_000)
+	f := func(s1, s2 uint32) bool {
+		a, b := int64(s1%1_000_000_000)+1, int64(s2%1_000_000_000)+1
+		if a > b {
+			a, b = b, a
+		}
+		return cm.IndexBuildSec(meta, a) <= cm.IndexBuildSec(meta, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOutputMonotoneInAggWidth(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(rows uint32, w uint8) bool {
+		r := float64(rows % 10_000_000)
+		return cm.OutputSec(r, int(w)) <= cm.OutputSec(r, int(w)+1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Covering seeks never cost more than the equivalent fetching seek.
+func TestQuickCoveringNeverWorse(t *testing.T) {
+	cm := DefaultCostModel()
+	f := func(m uint32) bool {
+		match := float64(m % 1_000_000)
+		pages := 50000.0
+		cover := cm.IndexSeekSec(match, 0, 24, pages)
+		fetch := cm.IndexSeekSec(match, match, 24, pages)
+		return cover <= fetch+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The scan baseline reported by the executor equals the cost model's
+// analytic table-scan price: the reward gain baseline is consistent.
+func TestScanBaselineConsistent(t *testing.T) {
+	cm := DefaultCostModel()
+	meta := bigMeta(2_000_000)
+	want := cm.TableScanSec(meta, 2)
+	got := cm.PagesOf(meta.SizeBytes())*cm.SeqPageSec +
+		float64(meta.RowCount)*(cm.CPUTupleSec+2*cm.CPUPredSec)
+	if diff := want - got; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("baseline mismatch: %v vs %v", want, got)
+	}
+}

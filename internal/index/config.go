@@ -1,0 +1,130 @@
+package index
+
+import (
+	"sort"
+
+	"dbabandits/internal/catalog"
+)
+
+// Config is a set of materialised indexes — the paper's "configuration"
+// s_t. The zero value is not usable; construct with NewConfig.
+type Config struct {
+	byID    map[string]*Index
+	byTable map[string][]*Index
+}
+
+// NewConfig returns an empty configuration.
+func NewConfig() *Config {
+	return &Config{byID: map[string]*Index{}, byTable: map[string][]*Index{}}
+}
+
+// Clone returns an independent copy sharing the immutable *Index values.
+func (c *Config) Clone() *Config {
+	out := NewConfig()
+	for id, ix := range c.byID {
+		out.byID[id] = ix
+		out.byTable[ix.Table] = append(out.byTable[ix.Table], ix)
+	}
+	for t := range out.byTable {
+		sortIndexes(out.byTable[t])
+	}
+	return out
+}
+
+// Add inserts an index; it reports whether the index was new.
+func (c *Config) Add(ix *Index) bool {
+	id := ix.ID()
+	if _, exists := c.byID[id]; exists {
+		return false
+	}
+	c.byID[id] = ix
+	c.byTable[ix.Table] = append(c.byTable[ix.Table], ix)
+	sortIndexes(c.byTable[ix.Table])
+	return true
+}
+
+// Drop removes an index by id; it reports whether it was present.
+func (c *Config) Drop(id string) bool {
+	ix, exists := c.byID[id]
+	if !exists {
+		return false
+	}
+	delete(c.byID, id)
+	list := c.byTable[ix.Table]
+	for i, cand := range list {
+		if cand.ID() == id {
+			c.byTable[ix.Table] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(c.byTable[ix.Table]) == 0 {
+		delete(c.byTable, ix.Table)
+	}
+	return true
+}
+
+// Has reports whether the configuration contains the index id.
+func (c *Config) Has(id string) bool {
+	_, ok := c.byID[id]
+	return ok
+}
+
+// Get returns the index by id.
+func (c *Config) Get(id string) (*Index, bool) {
+	ix, ok := c.byID[id]
+	return ix, ok
+}
+
+// OnTable returns the indexes on the table, in deterministic order.
+func (c *Config) OnTable(table string) []*Index { return c.byTable[table] }
+
+// All returns every index in deterministic order.
+func (c *Config) All() []*Index {
+	out := make([]*Index, 0, len(c.byID))
+	for _, ix := range c.byID {
+		out = append(out, ix)
+	}
+	sortIndexes(out)
+	return out
+}
+
+// Len returns the number of indexes.
+func (c *Config) Len() int { return len(c.byID) }
+
+// SizeBytes sums the estimated sizes of all indexes against the schema.
+func (c *Config) SizeBytes(schema *catalog.Schema) int64 {
+	var total int64
+	for _, ix := range c.byID {
+		if meta, ok := schema.Table(ix.Table); ok {
+			total += ix.SizeBytes(meta)
+		}
+	}
+	return total
+}
+
+// Diff returns the indexes present in c but not in old — the set the
+// system must materialise when transitioning old -> c (s_t \ s_{t-1}).
+func (c *Config) Diff(old *Config) []*Index {
+	var out []*Index
+	for id, ix := range c.byID {
+		if old == nil || !old.Has(id) {
+			out = append(out, ix)
+		}
+	}
+	sortIndexes(out)
+	return out
+}
+
+// IDs returns the sorted index ids; convenient in tests and logs.
+func (c *Config) IDs() []string {
+	out := make([]string, 0, len(c.byID))
+	for id := range c.byID {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortIndexes(list []*Index) {
+	sort.Slice(list, func(i, j int) bool { return list[i].ID() < list[j].ID() })
+}

@@ -1,0 +1,225 @@
+// Package index models secondary B+-tree indexes: their key/include
+// column structure, size, prefix-matching against query predicates, and
+// configurations (sets of indexes under a shared memory budget). Indexes
+// here are metadata objects — the execution engine consults them to price
+// access paths; no separate physical tree is materialised because the
+// stored column arrays already provide exact cardinalities.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/query"
+)
+
+// Index is a secondary index definition on one table: an ordered key
+// column sequence plus unordered include (payload-only) columns.
+type Index struct {
+	Table   string
+	Key     []string
+	Include []string
+
+	id string // memoised canonical id
+}
+
+// New constructs an index, normalising the include list (sorted,
+// de-duplicated, minus key columns).
+func New(table string, key []string, include []string) *Index {
+	keySet := make(map[string]bool, len(key))
+	for _, k := range key {
+		keySet[k] = true
+	}
+	incSet := make(map[string]bool, len(include))
+	for _, c := range include {
+		if !keySet[c] {
+			incSet[c] = true
+		}
+	}
+	inc := make([]string, 0, len(incSet))
+	for c := range incSet {
+		inc = append(inc, c)
+	}
+	sort.Strings(inc)
+	return &Index{Table: table, Key: append([]string(nil), key...), Include: inc}
+}
+
+// ID returns the canonical identifier, e.g.
+// "orders(o_custkey,o_date) INCLUDE (o_total)".
+func (ix *Index) ID() string {
+	if ix.id == "" {
+		var b strings.Builder
+		b.WriteString(ix.Table)
+		b.WriteByte('(')
+		b.WriteString(strings.Join(ix.Key, ","))
+		b.WriteByte(')')
+		if len(ix.Include) > 0 {
+			b.WriteString(" INCLUDE (")
+			b.WriteString(strings.Join(ix.Include, ","))
+			b.WriteByte(')')
+		}
+		ix.id = b.String()
+	}
+	return ix.id
+}
+
+// String implements fmt.Stringer.
+func (ix *Index) String() string { return ix.ID() }
+
+// AllColumns returns the union of key and include columns.
+func (ix *Index) AllColumns() []string {
+	out := make([]string, 0, len(ix.Key)+len(ix.Include))
+	out = append(out, ix.Key...)
+	out = append(out, ix.Include...)
+	return out
+}
+
+// HasColumn reports whether the column appears in the key or includes.
+func (ix *Index) HasColumn(col string) bool {
+	for _, k := range ix.Key {
+		if k == col {
+			return true
+		}
+	}
+	for _, c := range ix.Include {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// KeyPosition returns the 0-based position of the column in the key, or
+// -1 when it is not a key column.
+func (ix *Index) KeyPosition(col string) int {
+	for i, k := range ix.Key {
+		if k == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// EntryWidthBytes returns the width of one leaf entry: key columns,
+// include columns, and an 8-byte row pointer.
+func (ix *Index) EntryWidthBytes(meta *catalog.Table) int64 {
+	var width int64 = 8 // row pointer
+	for _, name := range ix.AllColumns() {
+		if c, ok := meta.Column(name); ok {
+			width += c.Kind.WidthBytes()
+		} else {
+			width += 8
+		}
+	}
+	return width
+}
+
+// SizeBytes estimates the materialised size: every row carries the key
+// columns, the include columns, and an 8-byte row pointer, with a B+-tree
+// space overhead factor of 1.35 (interior nodes + fill factor).
+func (ix *Index) SizeBytes(meta *catalog.Table) int64 {
+	return int64(float64(meta.RowCount*ix.EntryWidthBytes(meta)) * 1.35)
+}
+
+// Valid checks that every referenced column exists on the table and the
+// key is non-empty and duplicate-free.
+func (ix *Index) Valid(meta *catalog.Table) error {
+	if ix.Table != meta.Name {
+		return fmt.Errorf("index %s is not on table %s", ix.ID(), meta.Name)
+	}
+	if len(ix.Key) == 0 {
+		return fmt.Errorf("index on %s has empty key", ix.Table)
+	}
+	seen := map[string]bool{}
+	for _, k := range ix.Key {
+		if seen[k] {
+			return fmt.Errorf("index %s repeats key column %s", ix.ID(), k)
+		}
+		seen[k] = true
+	}
+	for _, name := range ix.AllColumns() {
+		if _, ok := meta.Column(name); !ok {
+			return fmt.Errorf("index %s references missing column %s", ix.ID(), name)
+		}
+	}
+	return nil
+}
+
+// SeekPrefix computes how the index can serve a conjunction of filter
+// predicates: the number of leading key columns bound by equality
+// predicates (eqLen), and whether the next key column carries a range
+// predicate (hasRange). Standard composite B+-tree seek semantics.
+func (ix *Index) SeekPrefix(preds []query.Predicate) (eqLen int, hasRange bool) {
+	eq := map[string]bool{}
+	rng := map[string]bool{}
+	for _, p := range preds {
+		if p.Table != ix.Table {
+			continue
+		}
+		if p.IsEquality() {
+			eq[p.Column] = true
+		} else {
+			rng[p.Column] = true
+		}
+	}
+	for _, k := range ix.Key {
+		if eq[k] {
+			eqLen++
+			continue
+		}
+		if rng[k] {
+			hasRange = true
+		}
+		break
+	}
+	return eqLen, hasRange
+}
+
+// CoversQueryOn reports whether the index contains every column of the
+// given table that the query references (filters, joins and payload): a
+// covering index avoids all base-table lookups.
+func (ix *Index) CoversQueryOn(q *query.Query, table string) bool {
+	if ix.Table != table {
+		return false
+	}
+	for _, c := range q.PredicateColumnsOn(table) {
+		if !ix.HasColumn(c) {
+			return false
+		}
+	}
+	for _, c := range q.JoinColumnsOn(table) {
+		if !ix.HasColumn(c) {
+			return false
+		}
+	}
+	for _, c := range q.PayloadColumnsOn(table) {
+		if !ix.HasColumn(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsumedBy reports whether other makes this index redundant: same
+// table, this key is a prefix of other's key, and every include column of
+// this index appears somewhere in other. Used by the greedy oracle's
+// filtering step ("arms already covered by the selected arms based on
+// prefix matching").
+func (ix *Index) SubsumedBy(other *Index) bool {
+	if ix.Table != other.Table || len(ix.Key) > len(other.Key) {
+		return false
+	}
+	for i, k := range ix.Key {
+		if other.Key[i] != k {
+			return false
+		}
+	}
+	for _, c := range ix.Include {
+		if !other.HasColumn(c) {
+			return false
+		}
+	}
+	return true
+}

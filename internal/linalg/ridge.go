@@ -1,0 +1,130 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// RidgeState maintains the sufficient statistics of the C2UCB ridge
+// regression: the scatter matrix V_t = lambda*I + sum x x', its inverse
+// (kept incrementally via Sherman–Morrison), and the response accumulator
+// b_t = sum r*x. The coefficient estimate is theta_t = V_t^{-1} b_t.
+//
+// Sherman–Morrison accumulates floating-point error over many rank-1
+// updates, so the inverse is re-baselined from a fresh Cholesky
+// factorisation every RebaseEvery updates.
+type RidgeState struct {
+	Dim    int
+	V      *Matrix // scatter matrix, always exact (up to fp addition)
+	VInv   *Matrix // incrementally maintained inverse of V
+	B      Vector  // response accumulator
+	Lambda float64
+
+	updates     int
+	RebaseEvery int // 0 means the default (256)
+}
+
+const defaultRebaseEvery = 256
+
+// NewRidgeState initialises V = lambda*I, VInv = I/lambda, b = 0.
+func NewRidgeState(dim int, lambda float64) *RidgeState {
+	if dim <= 0 {
+		panic(fmt.Sprintf("linalg: ridge dimension must be positive, got %d", dim))
+	}
+	if lambda <= 0 {
+		panic(fmt.Sprintf("linalg: ridge lambda must be positive, got %g", lambda))
+	}
+	return &RidgeState{
+		Dim:    dim,
+		V:      Identity(dim, lambda),
+		VInv:   Identity(dim, 1/lambda),
+		B:      NewVector(dim),
+		Lambda: lambda,
+	}
+}
+
+// Theta solves for the current coefficient estimate V^{-1} b using the
+// maintained inverse (cheap: one mat-vec).
+func (rs *RidgeState) Theta() Vector { return rs.VInv.MulVec(rs.B) }
+
+// ConfidenceWidth returns sqrt(x' V^{-1} x), the exploration-boost term of
+// the UCB score for context x.
+func (rs *RidgeState) ConfidenceWidth(x Vector) float64 {
+	q := rs.VInv.QuadraticForm(x)
+	if q < 0 {
+		// Numerical noise can push a tiny positive quadratic form below
+		// zero; clamp rather than produce NaN from sqrt.
+		q = 0
+	}
+	return math.Sqrt(q)
+}
+
+// Observe folds one (context, reward) observation into the state:
+// V += x x', b += r x, and VInv is updated by Sherman–Morrison:
+//
+//	(V + x x')^{-1} = V^{-1} - (V^{-1} x x' V^{-1}) / (1 + x' V^{-1} x)
+func (rs *RidgeState) Observe(x Vector, reward float64) {
+	if len(x) != rs.Dim {
+		panic(fmt.Sprintf("linalg: ridge observe dimension %d, want %d", len(x), rs.Dim))
+	}
+	rs.V.AddOuterScaled(1, x)
+	rs.B.AddScaled(reward, x)
+
+	u := rs.VInv.MulVec(x) // V^{-1} x (VInv symmetric, so also x' V^{-1})
+	denom := 1 + x.Dot(u)
+	rs.VInv.AddOuterScaled(-1/denom, u)
+
+	rs.updates++
+	every := rs.RebaseEvery
+	if every == 0 {
+		every = defaultRebaseEvery
+	}
+	if rs.updates%every == 0 {
+		rs.rebase()
+	}
+}
+
+// Forget discounts accumulated knowledge toward the prior by factor
+// gamma in [0, 1]: 0 keeps everything, 1 resets to lambda*I / 0. The MAB
+// uses this to adapt to workload shifts (Section IV, "the learner can
+// forget learned knowledge depending on the workload shift intensity").
+func (rs *RidgeState) Forget(gamma float64) {
+	if gamma <= 0 {
+		return
+	}
+	if gamma > 1 {
+		gamma = 1
+	}
+	keep := 1 - gamma
+	n := rs.Dim
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rs.V.At(i, j) * keep
+			if i == j {
+				v += gamma * rs.Lambda
+			}
+			rs.V.Set(i, j, v)
+		}
+	}
+	rs.B.Scale(keep)
+	rs.rebase()
+}
+
+// rebase recomputes VInv from V exactly, discarding Sherman–Morrison drift.
+func (rs *RidgeState) rebase() {
+	rs.V.SymmetrizeInPlace()
+	inv, err := rs.V.Inverse()
+	if err != nil {
+		// V = lambda*I + PSD is positive definite by construction; failure
+		// here indicates severe numeric corruption. Reset to the prior
+		// rather than continue with garbage.
+		rs.V = Identity(rs.Dim, rs.Lambda)
+		rs.VInv = Identity(rs.Dim, 1/rs.Lambda)
+		rs.B = NewVector(rs.Dim)
+		return
+	}
+	rs.VInv = inv
+}
+
+// Updates reports how many observations have been folded in.
+func (rs *RidgeState) Updates() int { return rs.updates }

@@ -1,0 +1,264 @@
+// Package mab implements the paper's primary contribution: online index
+// selection as a contextual combinatorial multi-armed bandit (C2UCB).
+//
+// The package provides dynamic arm generation from workload predicates
+// (Section IV "Dynamic arms from workload predicates"), two-part context
+// engineering (indexed-column-prefix encoding plus derived statistics),
+// the C2UCB scoring loop with shared ridge-regression weights, a greedy
+// knapsack super-arm oracle with prefix/covering filtering, reward shaping
+// from observed execution gains and index creation costs, and the query
+// store with workload-shift-scaled forgetting (Algorithm 2).
+package mab
+
+import (
+	"sort"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/index"
+	"dbabandits/internal/query"
+)
+
+// Arm is a candidate index the bandit may choose. Arms are identified by
+// their index id; the same arm regenerated from a different query keeps
+// its learned usage statistics (knowledge lives in the shared theta, but
+// usage metadata feeds the context's derived part).
+type Arm struct {
+	Index *index.Index
+	// SizeBytes is the estimated materialised size (the knapsack cost c_i).
+	SizeBytes int64
+	// Table caches Index.Table.
+	Table string
+	// Queries lists the template ids of the queries of interest that
+	// motivated this arm in the current round.
+	Queries []int
+	// CoveringFor lists template ids for which this arm is a covering
+	// index (drives the oracle's covering filter and context flag D1).
+	CoveringFor []int
+}
+
+// ID returns the canonical arm identifier (the index id).
+func (a *Arm) ID() string { return a.Index.ID() }
+
+// IsCovering reports whether the arm covers any motivating query.
+func (a *Arm) IsCovering() bool { return len(a.CoveringFor) > 0 }
+
+// ArmGenOptions bound the arm-generation combinatorics.
+type ArmGenOptions struct {
+	// MaxPermutationCols is the largest predicate-column-set size for
+	// which all permutations are generated (larger sets fall back to
+	// canonical orderings). Default 3.
+	MaxPermutationCols int
+	// MaxArmsPerTableQuery caps arms generated per (query, table) pair.
+	// Default 24.
+	MaxArmsPerTableQuery int
+	// DisablePayload turns off covering-arm generation (key permutations
+	// of the full predicate set with payload columns as includes).
+	// Covering arms are on by default; this exists for ablations.
+	DisablePayload bool
+}
+
+// ArmGenerator turns queries of interest into candidate arms.
+type ArmGenerator struct {
+	schema *catalog.Schema
+	opts   ArmGenOptions
+}
+
+// NewArmGenerator returns a generator with defaulted options.
+func NewArmGenerator(schema *catalog.Schema, opts ArmGenOptions) *ArmGenerator {
+	if opts.MaxPermutationCols <= 0 {
+		opts.MaxPermutationCols = 3
+	}
+	if opts.MaxArmsPerTableQuery <= 0 {
+		opts.MaxArmsPerTableQuery = 24
+	}
+	return &ArmGenerator{schema: schema, opts: opts}
+}
+
+// Generate produces the candidate arms for a set of queries of interest,
+// de-duplicated by index id, in deterministic order. Workload-based
+// generation keeps the action space proportional to the observed
+// workload's predicate columns rather than all column combinations.
+func (g *ArmGenerator) Generate(qois []*query.Query) []*Arm {
+	byID := map[string]*Arm{}
+	for _, q := range qois {
+		for _, tname := range q.Tables {
+			meta, ok := g.schema.Table(tname)
+			if !ok {
+				continue
+			}
+			g.generateForTable(q, meta, byID)
+		}
+	}
+	arms := make([]*Arm, 0, len(byID))
+	for _, a := range byID {
+		arms = append(arms, a)
+	}
+	sort.Slice(arms, func(i, j int) bool { return arms[i].ID() < arms[j].ID() })
+	return arms
+}
+
+func (g *ArmGenerator) generateForTable(q *query.Query, meta *catalog.Table, byID map[string]*Arm) {
+	// Predicate columns include join columns (the paper: "combinations
+	// and permutations of query predicates (including join predicates)").
+	predCols := q.PredicateColumnsOn(meta.Name)
+	joinCols := q.JoinColumnsOn(meta.Name)
+	colSet := map[string]bool{}
+	for _, c := range predCols {
+		colSet[c] = true
+	}
+	for _, c := range joinCols {
+		// The clustered PK already serves join seeks on its leading
+		// column; skip those to avoid useless duplicate arms.
+		if len(meta.PK) > 0 && meta.PK[0] == c {
+			continue
+		}
+		colSet[c] = true
+	}
+	cols := make([]string, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	if len(cols) == 0 {
+		return
+	}
+
+	var keys [][]string
+	if len(cols) <= g.opts.MaxPermutationCols {
+		keys = permutationsOfSubsets(cols)
+	} else {
+		keys = cappedKeyOrders(q, meta, cols, g.opts.MaxPermutationCols)
+	}
+	if len(keys) > g.opts.MaxArmsPerTableQuery {
+		keys = keys[:g.opts.MaxArmsPerTableQuery]
+	}
+
+	payload := q.PayloadColumnsOn(meta.Name)
+	for _, key := range keys {
+		g.addArm(q, meta, key, nil, byID)
+		// Covering variant: full-predicate-set keys with payload includes.
+		if !g.opts.DisablePayload && len(payload) > 0 && len(key) == len(cols) {
+			g.addArm(q, meta, key, payload, byID)
+		}
+	}
+}
+
+func (g *ArmGenerator) addArm(q *query.Query, meta *catalog.Table, key, include []string, byID map[string]*Arm) {
+	ix := index.New(meta.Name, key, include)
+	id := ix.ID()
+	arm, exists := byID[id]
+	if !exists {
+		arm = &Arm{Index: ix, Table: meta.Name, SizeBytes: ix.SizeBytes(meta)}
+		byID[id] = arm
+	}
+	arm.Queries = appendUnique(arm.Queries, q.TemplateID)
+	if ix.CoversQueryOn(q, meta.Name) {
+		arm.CoveringFor = appendUnique(arm.CoveringFor, q.TemplateID)
+	}
+}
+
+// permutationsOfSubsets returns every permutation of every non-empty
+// subset of cols (cols must be small; callers cap at
+// MaxPermutationCols).
+func permutationsOfSubsets(cols []string) [][]string {
+	var out [][]string
+	n := len(cols)
+	var rec func(cur []string, used []bool)
+	rec = func(cur []string, used []bool) {
+		if len(cur) > 0 {
+			cp := append([]string(nil), cur...)
+			out = append(out, cp)
+		}
+		if len(cur) == n {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			rec(append(cur, cols[i]), used)
+			used[i] = false
+		}
+	}
+	rec(nil, make([]bool, n))
+	return out
+}
+
+// cappedKeyOrders handles wide predicate sets: all singles, ordered pairs
+// of the most selective columns, and a canonical full ordering (equality
+// columns by descending NDV — most selective seeks first — then the
+// rest).
+func cappedKeyOrders(q *query.Query, meta *catalog.Table, cols []string, maxPerm int) [][]string {
+	var out [][]string
+	for _, c := range cols {
+		out = append(out, []string{c})
+	}
+	ranked := rankColumns(q, meta, cols)
+	top := ranked
+	if len(top) > maxPerm {
+		top = top[:maxPerm]
+	}
+	for _, a := range top {
+		for _, b := range top {
+			if a != b {
+				out = append(out, []string{a, b})
+			}
+		}
+	}
+	out = append(out, append([]string(nil), ranked...))
+	return out
+}
+
+// rankColumns orders columns: equality-predicate columns first (by NDV
+// descending — higher NDV means a sharper seek), then range columns, then
+// join-only columns.
+func rankColumns(q *query.Query, meta *catalog.Table, cols []string) []string {
+	eq := map[string]bool{}
+	rng := map[string]bool{}
+	for _, p := range q.FiltersOn(meta.Name) {
+		if p.IsEquality() {
+			eq[p.Column] = true
+		} else {
+			rng[p.Column] = true
+		}
+	}
+	ndv := func(c string) int64 {
+		if col, ok := meta.Column(c); ok {
+			return col.Stats.NDV
+		}
+		return 0
+	}
+	class := func(c string) int {
+		switch {
+		case eq[c]:
+			return 0
+		case rng[c]:
+			return 1
+		default:
+			return 2
+		}
+	}
+	ranked := append([]string(nil), cols...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		ci, cj := class(ranked[i]), class(ranked[j])
+		if ci != cj {
+			return ci < cj
+		}
+		ni, nj := ndv(ranked[i]), ndv(ranked[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+func appendUnique(list []int, v int) []int {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}

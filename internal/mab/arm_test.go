@@ -1,0 +1,171 @@
+package mab
+
+import (
+	"strings"
+	"testing"
+
+	"dbabandits/internal/query"
+	"dbabandits/internal/testdb"
+)
+
+// figure1Query mirrors the paper's Figure 1 example: a single-table query
+// with two equality predicates and one payload column.
+func figure1Query() *query.Query {
+	return &query.Query{
+		TemplateID: 1,
+		Tables:     []string{"orders"},
+		Filters: []query.Predicate{
+			{Table: "orders", Column: "o_date", Op: query.OpEq, Lo: 5, Hi: 5},
+			{Table: "orders", Column: "o_status", Op: query.OpEq, Lo: 6, Hi: 6},
+		},
+		Payload: []query.ColumnRef{{Table: "orders", Column: "o_total"}},
+	}
+}
+
+func TestGenerateFigure1Example(t *testing.T) {
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	arms := g.Generate([]*query.Query{figure1Query()})
+	// Paper's Example 3: two predicates generate six arms — four key-only
+	// permutations (2 singles + 2 ordered pairs) and two covering
+	// variants (the pair permutations with the payload included).
+	if len(arms) != 6 {
+		ids := make([]string, len(arms))
+		for i, a := range arms {
+			ids[i] = a.ID()
+		}
+		t.Fatalf("got %d arms, want 6: %v", len(arms), ids)
+	}
+	var covering, plain int
+	for _, a := range arms {
+		if a.IsCovering() {
+			covering++
+			if len(a.Index.Include) == 0 {
+				t.Fatalf("covering arm without includes: %s", a.ID())
+			}
+		} else {
+			plain++
+		}
+	}
+	if covering != 2 || plain != 4 {
+		t.Fatalf("covering=%d plain=%d", covering, plain)
+	}
+}
+
+func TestGenerateIncludesJoinColumns(t *testing.T) {
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	q := &query.Query{
+		TemplateID: 2,
+		Tables:     []string{"orders", "customer"},
+		Filters: []query.Predicate{
+			{Table: "customer", Column: "c_nation", Op: query.OpEq, Lo: 1, Hi: 1},
+		},
+		Joins: []query.Join{
+			{LeftTable: "orders", LeftColumn: "o_custkey", RightTable: "customer", RightColumn: "c_id"},
+		},
+	}
+	arms := g.Generate([]*query.Query{q})
+	foundJoinArm := false
+	for _, a := range arms {
+		if a.Table == "orders" && a.Index.Key[0] == "o_custkey" {
+			foundJoinArm = true
+		}
+		// c_id is the leading PK column of customer: no arm should be
+		// generated for it.
+		if a.Table == "customer" && a.Index.Key[0] == "c_id" {
+			t.Fatalf("arm on clustered PK leading column: %s", a.ID())
+		}
+	}
+	if !foundJoinArm {
+		t.Fatal("no arm generated for the fact-side join column")
+	}
+}
+
+func TestGenerateDeduplicatesAcrossQueries(t *testing.T) {
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	q1 := figure1Query()
+	q2 := figure1Query()
+	q2.TemplateID = 7
+	arms := g.Generate([]*query.Query{q1, q2})
+	for _, a := range arms {
+		if len(a.Queries) != 2 {
+			t.Fatalf("arm %s motivated by %v, want both templates", a.ID(), a.Queries)
+		}
+	}
+}
+
+func TestGenerateCapsWidePredicateSets(t *testing.T) {
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{MaxPermutationCols: 3, MaxArmsPerTableQuery: 24})
+	q := &query.Query{
+		TemplateID: 3,
+		Tables:     []string{"orders"},
+		Filters: []query.Predicate{
+			{Table: "orders", Column: "o_date", Op: query.OpRange, Lo: 0, Hi: 10},
+			{Table: "orders", Column: "o_status", Op: query.OpEq, Lo: 1, Hi: 1},
+			{Table: "orders", Column: "o_priority", Op: query.OpEq, Lo: 2, Hi: 2},
+			{Table: "orders", Column: "o_total", Op: query.OpGt, Lo: 100},
+			{Table: "orders", Column: "o_custkey", Op: query.OpEq, Lo: 5, Hi: 5},
+		},
+	}
+	arms := g.Generate([]*query.Query{q})
+	if len(arms) == 0 || len(arms) > 24 {
+		t.Fatalf("got %d arms, want 1..24", len(arms))
+	}
+	// The canonical full ordering must put equality columns first.
+	var full *Arm
+	for _, a := range arms {
+		if len(a.Index.Key) == 5 {
+			full = a
+		}
+	}
+	if full == nil {
+		t.Fatal("no full-key canonical arm generated")
+	}
+	firstThree := strings.Join(full.Index.Key[:3], ",")
+	for _, c := range []string{"o_status", "o_priority", "o_custkey"} {
+		if !strings.Contains(firstThree, c) {
+			t.Fatalf("equality column %s not leading in canonical order %v", c, full.Index.Key)
+		}
+	}
+}
+
+func TestGenerateDeterministicOrder(t *testing.T) {
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	a := g.Generate([]*query.Query{figure1Query()})
+	b := g.Generate([]*query.Query{figure1Query()})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic arm count")
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i].ID(), b[i].ID())
+		}
+	}
+}
+
+func TestPermutationsOfSubsets(t *testing.T) {
+	got := permutationsOfSubsets([]string{"a", "b"})
+	// a, a b, b, b a -> 4 entries
+	if len(got) != 4 {
+		t.Fatalf("got %d permutations: %v", len(got), got)
+	}
+	got3 := permutationsOfSubsets([]string{"a", "b", "c"})
+	// P(3,1)+P(3,2)+P(3,3) = 3+6+6 = 15
+	if len(got3) != 15 {
+		t.Fatalf("got %d permutations for 3 cols", len(got3))
+	}
+}
+
+func TestArmSizePositive(t *testing.T) {
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	for _, a := range g.Generate([]*query.Query{figure1Query()}) {
+		if a.SizeBytes <= 0 {
+			t.Fatalf("arm %s has non-positive size", a.ID())
+		}
+	}
+}

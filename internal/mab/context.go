@@ -1,0 +1,99 @@
+package mab
+
+import (
+	"math"
+	"sort"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/linalg"
+)
+
+// ContextBuilder produces the per-arm context vectors (Section IV,
+// "Context engineering"). The vector has one component per database
+// column (Part 1: indexed-column-prefix encoding) plus three derived
+// components (Part 2): a covering flag, the relative index size (zero
+// when already materialised), and usage information from prior rounds.
+type ContextBuilder struct {
+	schema *catalog.Schema
+	colIdx map[string]int // "table.column" -> dimension
+	dim    int
+
+	// OneHot switches Part 1 to a plain bag-of-columns encoding (1 for
+	// any key column). Only the ablation benches enable it; the paper
+	// argues prefix encoding is essential because "similarity of arms
+	// depends on having similar column prefixes".
+	OneHot bool
+}
+
+// Derived-part dimension count: covering flag, relative size, usage.
+const derivedDims = 3
+
+// NewContextBuilder enumerates the schema's columns into dimensions.
+func NewContextBuilder(schema *catalog.Schema) *ContextBuilder {
+	cb := &ContextBuilder{schema: schema, colIdx: map[string]int{}}
+	names := schema.SortedTableNames()
+	d := 0
+	for _, tn := range names {
+		t := schema.MustTable(tn)
+		cols := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			cols[i] = t.Columns[i].Name
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			cb.colIdx[tn+"."+c] = d
+			d++
+		}
+	}
+	cb.dim = d + derivedDims
+	return cb
+}
+
+// Dim returns the context dimensionality.
+func (cb *ContextBuilder) Dim() int { return cb.dim }
+
+// ArmInfo carries the dynamic inputs of a context vector.
+type ArmInfo struct {
+	// PredicateColumns holds "table.column" keys for every column that
+	// appears as a filter or join predicate in the queries of interest;
+	// only these key columns receive non-zero Part 1 components (payload
+	// -only columns are zero — see the paper's Example 3).
+	PredicateColumns map[string]bool
+	// Materialised reports whether the arm's index currently exists; a
+	// materialised index has zero relative-size component (no further
+	// creation cost).
+	Materialised bool
+	// Usage is the arm's decayed historical usage statistic (D3).
+	Usage float64
+	// DatabaseBytes normalises the size component.
+	DatabaseBytes int64
+}
+
+// Build assembles the context vector for one arm.
+func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.Vector {
+	x := linalg.NewVector(cb.dim)
+	for j, col := range arm.Index.Key {
+		key := arm.Table + "." + col
+		if !info.PredicateColumns[key] {
+			continue
+		}
+		idx, ok := cb.colIdx[key]
+		if !ok {
+			continue
+		}
+		if cb.OneHot {
+			x[idx] = 1
+		} else {
+			x[idx] = math.Pow(10, -float64(j))
+		}
+	}
+	base := cb.dim - derivedDims
+	if arm.IsCovering() {
+		x[base] = 1
+	}
+	if !info.Materialised && info.DatabaseBytes > 0 {
+		x[base+1] = float64(arm.SizeBytes) / float64(info.DatabaseBytes)
+	}
+	x[base+2] = info.Usage
+	return x
+}

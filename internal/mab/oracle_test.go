@@ -1,0 +1,168 @@
+package mab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbabandits/internal/index"
+)
+
+func mkArm(table string, key []string, size int64, templates ...int) *Arm {
+	return &Arm{
+		Index:     index.New(table, key, nil),
+		Table:     table,
+		SizeBytes: size,
+		Queries:   templates,
+	}
+}
+
+func TestOraclePrunesNegativeScores(t *testing.T) {
+	arms := []*Arm{
+		mkArm("t", []string{"a"}, 10, 1),
+		mkArm("t", []string{"b"}, 10, 1),
+	}
+	got := SelectSuperArm(arms, []float64{-1, 2}, 100)
+	if len(got) != 1 || got[0].Index.Key[0] != "b" {
+		t.Fatalf("selected %v", got)
+	}
+}
+
+func TestOracleRespectsBudget(t *testing.T) {
+	arms := []*Arm{
+		mkArm("t", []string{"a"}, 60, 1),
+		mkArm("t", []string{"b"}, 60, 2),
+		mkArm("t", []string{"c"}, 30, 3),
+	}
+	got := SelectSuperArm(arms, []float64{3, 2, 1}, 100)
+	var total int64
+	for _, a := range got {
+		total += a.SizeBytes
+	}
+	if total > 100 {
+		t.Fatalf("budget exceeded: %d", total)
+	}
+	// Greedy should take a (60), skip b (doesn't fit), take c (30).
+	if len(got) != 2 || got[0].Index.Key[0] != "a" || got[1].Index.Key[0] != "c" {
+		t.Fatalf("selected %v", ids(got))
+	}
+}
+
+func TestOracleGreedyByScore(t *testing.T) {
+	arms := []*Arm{
+		mkArm("t", []string{"a"}, 10, 1),
+		mkArm("t", []string{"b"}, 10, 2),
+		mkArm("t", []string{"c"}, 10, 3),
+	}
+	got := SelectSuperArm(arms, []float64{1, 5, 3}, 20)
+	if len(got) != 2 || got[0].Index.Key[0] != "b" || got[1].Index.Key[0] != "c" {
+		t.Fatalf("selected %v", ids(got))
+	}
+}
+
+func TestOracleFiltersSubsumedArms(t *testing.T) {
+	wide := mkArm("t", []string{"a", "b"}, 20, 1)
+	narrow := mkArm("t", []string{"a"}, 10, 1)
+	other := mkArm("t", []string{"c"}, 10, 2)
+	got := SelectSuperArm([]*Arm{wide, narrow, other}, []float64{5, 4, 1}, 100)
+	for _, a := range got {
+		if a.ID() == narrow.ID() {
+			t.Fatal("prefix-subsumed arm selected")
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("selected %v", ids(got))
+	}
+}
+
+func TestOracleCoveringFilterDropsQueryMates(t *testing.T) {
+	covering := &Arm{
+		Index:       index.New("t", []string{"a", "b"}, []string{"p"}),
+		Table:       "t",
+		SizeBytes:   30,
+		Queries:     []int{1},
+		CoveringFor: []int{1},
+	}
+	mate := mkArm("t", []string{"b"}, 10, 1)           // same query only
+	shared := mkArm("t", []string{"b", "c"}, 10, 1, 2) // also serves query 2
+	got := SelectSuperArm([]*Arm{covering, mate, shared}, []float64{5, 4, 3}, 100)
+	sel := map[string]bool{}
+	for _, a := range got {
+		sel[a.ID()] = true
+	}
+	if !sel[covering.ID()] {
+		t.Fatal("covering arm not selected")
+	}
+	if sel[mate.ID()] {
+		t.Fatal("query-mate of covering arm not filtered")
+	}
+	if !sel[shared.ID()] {
+		t.Fatal("arm shared with an uncovered query wrongly filtered")
+	}
+}
+
+func TestOracleEmptyAndZeroBudget(t *testing.T) {
+	if got := SelectSuperArm(nil, nil, 100); len(got) != 0 {
+		t.Fatal("selected arms from nothing")
+	}
+	arms := []*Arm{mkArm("t", []string{"a"}, 10, 1)}
+	if got := SelectSuperArm(arms, []float64{5}, 5); len(got) != 0 {
+		t.Fatal("selected arm exceeding budget")
+	}
+}
+
+func TestOracleDeterministicTieBreak(t *testing.T) {
+	arms := []*Arm{
+		mkArm("t", []string{"b"}, 10, 1),
+		mkArm("t", []string{"a"}, 10, 2),
+	}
+	got := SelectSuperArm(arms, []float64{1, 1}, 10)
+	if len(got) != 1 || got[0].Index.Key[0] != "a" {
+		t.Fatalf("tie break selected %v", ids(got))
+	}
+}
+
+// Property: the oracle never exceeds the budget and never selects an arm
+// with non-positive score.
+func TestQuickOracleInvariants(t *testing.T) {
+	cols := []string{"a", "b", "c", "d", "e"}
+	f := func(sizes [5]uint16, scores [5]int8, budget uint16) bool {
+		arms := make([]*Arm, 5)
+		sc := make([]float64, 5)
+		for i := range arms {
+			arms[i] = mkArm("t", []string{cols[i]}, int64(sizes[i]%500)+1, i)
+			sc[i] = float64(scores[i])
+		}
+		got := SelectSuperArm(arms, sc, int64(budget))
+		var total int64
+		seen := map[string]bool{}
+		for _, a := range got {
+			total += a.SizeBytes
+			if seen[a.ID()] {
+				return false // duplicate selection
+			}
+			seen[a.ID()] = true
+		}
+		if total > int64(budget) {
+			return false
+		}
+		for _, a := range got {
+			for i, arm := range arms {
+				if arm.ID() == a.ID() && sc[i] <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ids(arms []*Arm) []string {
+	out := make([]string, len(arms))
+	for i, a := range arms {
+		out[i] = a.ID()
+	}
+	return out
+}

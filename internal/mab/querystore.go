@@ -1,0 +1,119 @@
+package mab
+
+import (
+	"sort"
+
+	"dbabandits/internal/query"
+)
+
+// TemplateInfo summarises one observed query template, as kept by the
+// query store in Algorithm 2: frequency, first/last seen rounds, and the
+// latest instance (whose predicates drive arm generation).
+type TemplateInfo struct {
+	ID        int
+	Signature string
+	Frequency int
+	FirstSeen int
+	LastSeen  int
+	// Instances seen in the most recent observation round.
+	LastRoundCount int
+	LastInstance   *query.Query
+}
+
+// QueryStore tracks workload templates across rounds (Algorithm 2's QS).
+type QueryStore struct {
+	bySig map[string]*TemplateInfo
+	// Window is the recency window (in rounds) for queries of interest;
+	// templates unseen for longer stop generating arms. Default 3.
+	Window int
+
+	lastRound         int
+	lastRoundNew      int
+	lastRoundObserved int
+}
+
+// NewQueryStore returns an empty store with the default QoI window.
+func NewQueryStore() *QueryStore {
+	return &QueryStore{bySig: map[string]*TemplateInfo{}, Window: 3}
+}
+
+// Observe folds one round's workload into the store and returns the
+// number of previously unseen templates (the workload-shift signal).
+func (qs *QueryStore) Observe(round int, queries []*query.Query) int {
+	seenThisRound := map[string]bool{}
+	newTemplates := 0
+	for _, q := range queries {
+		sig := q.Signature()
+		ti, ok := qs.bySig[sig]
+		if !ok {
+			ti = &TemplateInfo{ID: q.TemplateID, Signature: sig, FirstSeen: round}
+			qs.bySig[sig] = ti
+			newTemplates++
+		}
+		ti.Frequency++
+		ti.LastSeen = round
+		ti.LastInstance = q
+		if !seenThisRound[sig] {
+			ti.LastRoundCount = 0
+			seenThisRound[sig] = true
+		}
+		ti.LastRoundCount++
+	}
+	qs.lastRound = round
+	qs.lastRoundNew = newTemplates
+	qs.lastRoundObserved = len(seenThisRound)
+	return newTemplates
+}
+
+// QoI returns the queries of interest for the upcoming round: the latest
+// instance of every template seen within the recency window, ordered by
+// template id then signature for determinism.
+func (qs *QueryStore) QoI(round int) []*query.Query {
+	var infos []*TemplateInfo
+	for _, ti := range qs.bySig {
+		if round-ti.LastSeen < qs.Window {
+			infos = append(infos, ti)
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].ID != infos[j].ID {
+			return infos[i].ID < infos[j].ID
+		}
+		return infos[i].Signature < infos[j].Signature
+	})
+	out := make([]*query.Query, len(infos))
+	for i, ti := range infos {
+		out[i] = ti.LastInstance
+	}
+	return out
+}
+
+// ShiftIntensity reports the fraction of the last observed round's
+// templates that were new — the signal that scales forgetting ("the
+// learner can forget learned knowledge depending on the workload shift
+// intensity").
+func (qs *QueryStore) ShiftIntensity() float64 {
+	if qs.lastRoundObserved == 0 {
+		return 0
+	}
+	return float64(qs.lastRoundNew) / float64(qs.lastRoundObserved)
+}
+
+// Templates returns all known templates sorted by first-seen round
+// (diagnostics).
+func (qs *QueryStore) Templates() []*TemplateInfo {
+	out := make([]*TemplateInfo, 0, len(qs.bySig))
+	for _, ti := range qs.bySig {
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FirstSeen != out[j].FirstSeen {
+			return out[i].FirstSeen < out[j].FirstSeen
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}
+
+// Len returns the number of known templates.
+func (qs *QueryStore) Len() int { return len(qs.bySig) }

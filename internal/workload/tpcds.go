@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math/rand"
+
+	"dbabandits/internal/catalog"
+)
+
+// TPCDS returns the TPC-DS benchmark: a snowflake schema over three sales
+// channels plus returns, and 99 query templates. The templates are
+// generated deterministically from TPC-DS's four query classes
+// (reporting, ad-hoc, iterative, data mining): each combines one fact
+// table with 1-4 dimensions, dimensional predicates of varying
+// selectivity, and measure payloads of varying width. TPC-DS's role in
+// the paper is its huge candidate space ("over 3200 indices"), which this
+// reproduction preserves by predicate-column diversity.
+func TPCDS() *Benchmark {
+	return &Benchmark{Name: "tpcds", NewSchema: tpcdsSchema, Templates: tpcdsTemplates()}
+}
+
+func tpcdsSchema() *catalog.Schema {
+	dateDim := &catalog.Table{
+		Name: "date_dim", BaseRows: 73049, FixedSize: true, PK: []string{"d_date_sk"},
+		Columns: []catalog.Column{
+			{Name: "d_date_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "d_year", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "d_date_sk", DomainLo: 1900, DomainHi: 2100},
+			{Name: "d_moy", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 12},
+			{Name: "d_qoy", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 4},
+			{Name: "d_dow", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 6},
+		},
+	}
+	item := &catalog.Table{
+		Name: "item", BaseRows: 18_000, PK: []string{"i_item_sk"},
+		Columns: []catalog.Column{
+			{Name: "i_item_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "i_category", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 9},
+			{Name: "i_class", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "i_category", DomainLo: 0, DomainHi: 99, CorrNoise: 2},
+			{Name: "i_brand", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "i_class", DomainLo: 0, DomainHi: 999, CorrNoise: 10},
+			{Name: "i_manufact", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 999},
+			{Name: "i_color", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.2, DomainLo: 0, DomainHi: 91},
+			{Name: "i_current_price", Kind: catalog.KindDecimal, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 1, DomainHi: 300},
+		},
+	}
+	customer := &catalog.Table{
+		Name: "customer", BaseRows: 100_000, PK: []string{"c_customer_sk"},
+		Columns: []catalog.Column{
+			{Name: "c_customer_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "c_current_addr_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "customer_address", RefCol: "ca_address_sk"},
+			{Name: "c_current_cdemo_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "customer_demographics", RefCol: "cd_demo_sk"},
+			{Name: "c_birth_year", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1924, DomainHi: 1992},
+			{Name: "c_birth_month", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 12},
+		},
+	}
+	customerAddress := &catalog.Table{
+		Name: "customer_address", BaseRows: 50_000, PK: []string{"ca_address_sk"},
+		Columns: []catalog.Column{
+			{Name: "ca_address_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "ca_state", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 0, DomainHi: 50},
+			{Name: "ca_city", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 0, DomainHi: 700},
+			{Name: "ca_gmt_offset", Kind: catalog.KindInt, Dist: catalog.DistZipf, ZipfS: 1.5, DomainLo: -10, DomainHi: -5},
+		},
+	}
+	customerDemo := &catalog.Table{
+		Name: "customer_demographics", BaseRows: 100_000, PK: []string{"cd_demo_sk"},
+		Columns: []catalog.Column{
+			{Name: "cd_demo_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "cd_gender", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 1},
+			{Name: "cd_marital_status", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 4},
+			{Name: "cd_education_status", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 6},
+			{Name: "cd_dep_count", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 6},
+		},
+	}
+	householdDemo := &catalog.Table{
+		Name: "household_demographics", BaseRows: 7_200, FixedSize: true, PK: []string{"hd_demo_sk"},
+		Columns: []catalog.Column{
+			{Name: "hd_demo_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "hd_income_band_sk", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 20},
+			{Name: "hd_buy_potential", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 5},
+			{Name: "hd_dep_count", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 9},
+		},
+	}
+	store := &catalog.Table{
+		Name: "store", BaseRows: 120, FixedSize: true, PK: []string{"s_store_sk"},
+		Columns: []catalog.Column{
+			{Name: "s_store_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "s_state", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 20},
+			{Name: "s_county", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 30},
+		},
+	}
+	promotion := &catalog.Table{
+		Name: "promotion", BaseRows: 300, FixedSize: true, PK: []string{"p_promo_sk"},
+		Columns: []catalog.Column{
+			{Name: "p_promo_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "p_channel_email", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 1},
+			{Name: "p_channel_tv", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 1},
+		},
+	}
+	warehouse := &catalog.Table{
+		Name: "warehouse", BaseRows: 6, FixedSize: true, PK: []string{"w_warehouse_sk"},
+		Columns: []catalog.Column{
+			{Name: "w_warehouse_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "w_state", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 20},
+		},
+	}
+	shipMode := &catalog.Table{
+		Name: "ship_mode", BaseRows: 20, FixedSize: true, PK: []string{"sm_ship_mode_sk"},
+		Columns: []catalog.Column{
+			{Name: "sm_ship_mode_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "sm_type", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 5},
+		},
+	}
+	timeDim := &catalog.Table{
+		Name: "time_dim", BaseRows: 86_400, FixedSize: true, PK: []string{"t_time_sk"},
+		Columns: []catalog.Column{
+			{Name: "t_time_sk", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "t_hour", Kind: catalog.KindInt, Dist: catalog.DistCorrelated, CorrWith: "t_time_sk", DomainLo: 0, DomainHi: 23},
+			{Name: "t_meal_time", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 0, DomainHi: 3},
+		},
+	}
+
+	salesCols := func(prefix, datekCol string) []catalog.Column {
+		return []catalog.Column{
+			{Name: prefix + "_item_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.2, RefTable: "item", RefCol: "i_item_sk"},
+			{Name: prefix + "_customer_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.1, RefTable: "customer", RefCol: "c_customer_sk"},
+			{Name: datekCol, Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "date_dim", RefCol: "d_date_sk"},
+			{Name: prefix + "_quantity", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 100},
+			{Name: prefix + "_sales_price", Kind: catalog.KindDecimal, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 1, DomainHi: 300},
+			{Name: prefix + "_net_profit", Kind: catalog.KindDecimal, Dist: catalog.DistUniform, DomainLo: -5000, DomainHi: 15_000},
+			{Name: prefix + "_promo_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "promotion", RefCol: "p_promo_sk"},
+		}
+	}
+
+	storeSales := &catalog.Table{
+		Name: "store_sales", BaseRows: 2_880_000, PK: []string{"ss_ticket_number"},
+		Columns: append([]catalog.Column{
+			{Name: "ss_ticket_number", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "ss_store_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.3, RefTable: "store", RefCol: "s_store_sk"},
+			{Name: "ss_hdemo_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "household_demographics", RefCol: "hd_demo_sk"},
+			{Name: "ss_sold_time_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "time_dim", RefCol: "t_time_sk"},
+		}, salesCols("ss", "ss_sold_date_sk")...),
+	}
+	catalogSales := &catalog.Table{
+		Name: "catalog_sales", BaseRows: 1_440_000, PK: []string{"cs_order_number"},
+		Columns: append([]catalog.Column{
+			{Name: "cs_order_number", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "cs_ship_mode_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "ship_mode", RefCol: "sm_ship_mode_sk"},
+			{Name: "cs_warehouse_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "warehouse", RefCol: "w_warehouse_sk"},
+		}, salesCols("cs", "cs_sold_date_sk")...),
+	}
+	webSales := &catalog.Table{
+		Name: "web_sales", BaseRows: 720_000, PK: []string{"ws_order_number"},
+		Columns: append([]catalog.Column{
+			{Name: "ws_order_number", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "ws_ship_addr_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "customer_address", RefCol: "ca_address_sk"},
+		}, salesCols("ws", "ws_sold_date_sk")...),
+	}
+	storeReturns := &catalog.Table{
+		Name: "store_returns", BaseRows: 288_000, PK: []string{"sr_ticket_number"},
+		Columns: []catalog.Column{
+			{Name: "sr_ticket_number", Kind: catalog.KindInt, Dist: catalog.DistSequential},
+			{Name: "sr_item_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.2, RefTable: "item", RefCol: "i_item_sk"},
+			{Name: "sr_customer_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKeyZipf, ZipfS: 1.1, RefTable: "customer", RefCol: "c_customer_sk"},
+			{Name: "sr_returned_date_sk", Kind: catalog.KindInt, Dist: catalog.DistForeignKey, RefTable: "date_dim", RefCol: "d_date_sk"},
+			{Name: "sr_return_quantity", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 100},
+			{Name: "sr_return_amt", Kind: catalog.KindDecimal, Dist: catalog.DistZipf, ZipfS: 1.1, DomainLo: 1, DomainHi: 10_000},
+			{Name: "sr_reason_sk", Kind: catalog.KindInt, Dist: catalog.DistUniform, DomainLo: 1, DomainHi: 35},
+		},
+	}
+
+	s := catalog.MustSchema("tpcds",
+		dateDim, timeDim, item, customer, customerAddress, customerDemo,
+		householdDemo, store, promotion, warehouse, shipMode,
+		storeSales, catalogSales, webSales, storeReturns,
+	)
+	s.FKs = []catalog.ForeignKey{
+		{Table: "store_sales", Column: "ss_item_sk", RefTable: "item", RefColumn: "i_item_sk"},
+		{Table: "store_sales", Column: "ss_customer_sk", RefTable: "customer", RefColumn: "c_customer_sk"},
+		{Table: "store_sales", Column: "ss_sold_date_sk", RefTable: "date_dim", RefColumn: "d_date_sk"},
+		{Table: "store_sales", Column: "ss_store_sk", RefTable: "store", RefColumn: "s_store_sk"},
+		{Table: "catalog_sales", Column: "cs_item_sk", RefTable: "item", RefColumn: "i_item_sk"},
+		{Table: "catalog_sales", Column: "cs_customer_sk", RefTable: "customer", RefColumn: "c_customer_sk"},
+		{Table: "catalog_sales", Column: "cs_sold_date_sk", RefTable: "date_dim", RefColumn: "d_date_sk"},
+		{Table: "web_sales", Column: "ws_item_sk", RefTable: "item", RefColumn: "i_item_sk"},
+		{Table: "web_sales", Column: "ws_customer_sk", RefTable: "customer", RefColumn: "c_customer_sk"},
+		{Table: "web_sales", Column: "ws_sold_date_sk", RefTable: "date_dim", RefColumn: "d_date_sk"},
+		{Table: "store_returns", Column: "sr_item_sk", RefTable: "item", RefColumn: "i_item_sk"},
+		{Table: "store_returns", Column: "sr_customer_sk", RefTable: "customer", RefColumn: "c_customer_sk"},
+		{Table: "store_returns", Column: "sr_returned_date_sk", RefTable: "date_dim", RefColumn: "d_date_sk"},
+	}
+	return s
+}
+
+// tpcdsFact describes one sales channel for template generation.
+type tpcdsFact struct {
+	table    string
+	itemFK   string
+	custFK   string
+	dateFK   string
+	measures []string
+	extraDim []tpcdsDim // channel-specific dimensions
+}
+
+// tpcdsDim is a joinable dimension with its predicate columns.
+type tpcdsDim struct {
+	table   string
+	pk      string
+	factFK  string
+	eqCols  []string
+	rngCols []string
+}
+
+// tpcdsTemplates generates the 99 templates deterministically.
+func tpcdsTemplates() []TemplateSpec {
+	rng := rand.New(rand.NewSource(420))
+
+	dateDim := func(fk string) tpcdsDim {
+		return tpcdsDim{table: "date_dim", pk: "d_date_sk", factFK: fk,
+			eqCols: []string{"d_year", "d_moy", "d_qoy", "d_dow"}, rngCols: []string{"d_year"}}
+	}
+	itemDim := func(fk string) tpcdsDim {
+		return tpcdsDim{table: "item", pk: "i_item_sk", factFK: fk,
+			eqCols: []string{"i_category", "i_class", "i_brand", "i_color", "i_manufact"}, rngCols: []string{"i_current_price"}}
+	}
+	custDim := func(fk string) tpcdsDim {
+		return tpcdsDim{table: "customer", pk: "c_customer_sk", factFK: fk,
+			eqCols: []string{"c_birth_month"}, rngCols: []string{"c_birth_year"}}
+	}
+
+	facts := []tpcdsFact{
+		{
+			table: "store_sales", itemFK: "ss_item_sk", custFK: "ss_customer_sk", dateFK: "ss_sold_date_sk",
+			measures: []string{"ss_quantity", "ss_sales_price", "ss_net_profit"},
+			extraDim: []tpcdsDim{
+				{table: "store", pk: "s_store_sk", factFK: "ss_store_sk", eqCols: []string{"s_state", "s_county"}},
+				{table: "household_demographics", pk: "hd_demo_sk", factFK: "ss_hdemo_sk", eqCols: []string{"hd_buy_potential", "hd_dep_count"}, rngCols: []string{"hd_income_band_sk"}},
+				{table: "time_dim", pk: "t_time_sk", factFK: "ss_sold_time_sk", eqCols: []string{"t_hour", "t_meal_time"}},
+				{table: "promotion", pk: "p_promo_sk", factFK: "ss_promo_sk", eqCols: []string{"p_channel_email", "p_channel_tv"}},
+			},
+		},
+		{
+			table: "catalog_sales", itemFK: "cs_item_sk", custFK: "cs_customer_sk", dateFK: "cs_sold_date_sk",
+			measures: []string{"cs_quantity", "cs_sales_price", "cs_net_profit"},
+			extraDim: []tpcdsDim{
+				{table: "ship_mode", pk: "sm_ship_mode_sk", factFK: "cs_ship_mode_sk", eqCols: []string{"sm_type"}},
+				{table: "warehouse", pk: "w_warehouse_sk", factFK: "cs_warehouse_sk", eqCols: []string{"w_state"}},
+				{table: "promotion", pk: "p_promo_sk", factFK: "cs_promo_sk", eqCols: []string{"p_channel_email", "p_channel_tv"}},
+			},
+		},
+		{
+			table: "web_sales", itemFK: "ws_item_sk", custFK: "ws_customer_sk", dateFK: "ws_sold_date_sk",
+			measures: []string{"ws_quantity", "ws_sales_price", "ws_net_profit"},
+			extraDim: []tpcdsDim{
+				{table: "customer_address", pk: "ca_address_sk", factFK: "ws_ship_addr_sk", eqCols: []string{"ca_state", "ca_city"}, rngCols: []string{"ca_gmt_offset"}},
+				{table: "promotion", pk: "p_promo_sk", factFK: "ws_promo_sk", eqCols: []string{"p_channel_email", "p_channel_tv"}},
+			},
+		},
+		{
+			table: "store_returns", itemFK: "sr_item_sk", custFK: "sr_customer_sk", dateFK: "sr_returned_date_sk",
+			measures: []string{"sr_return_quantity", "sr_return_amt"},
+		},
+	}
+
+	var out []TemplateSpec
+	id := 1
+	for id <= 99 {
+		f := facts[(id-1)%len(facts)]
+		dims := []tpcdsDim{dateDim(f.dateFK)}
+		// Vary dimensionality: item and customer dims cycle in; channel
+		// dims appear based on the template index.
+		if id%2 == 0 {
+			dims = append(dims, itemDim(f.itemFK))
+		}
+		if id%5 == 0 {
+			dims = append(dims, custDim(f.custFK))
+		}
+		if len(f.extraDim) > 0 && id%3 == 0 {
+			dims = append(dims, f.extraDim[(id/3)%len(f.extraDim)])
+		}
+
+		ts := TemplateSpec{ID: id, Tables: []string{f.table}}
+		for _, d := range dims {
+			ts.Tables = append(ts.Tables, d.table)
+			ts.Joins = append(ts.Joins, jn(f.table, d.factFK, d.table, d.pk))
+			// 1-2 predicates per dimension, deterministic variety.
+			if len(d.eqCols) > 0 {
+				ts.Preds = append(ts.Preds, eqd(d.table, d.eqCols[rng.Intn(len(d.eqCols))]))
+			}
+			if len(d.rngCols) > 0 && rng.Intn(2) == 0 {
+				ts.Preds = append(ts.Preds, rngf(d.table, d.rngCols[rng.Intn(len(d.rngCols))], 0.05+rng.Float64()*0.3))
+			}
+		}
+		// Occasionally a fact-local predicate (quantity band).
+		if id%4 == 0 {
+			ts.Preds = append(ts.Preds, rngf(f.table, f.measures[0], 0.1+rng.Float64()*0.4))
+		}
+		// Payload: 1-3 measures.
+		nm := 1 + rng.Intn(len(f.measures))
+		for m := 0; m < nm; m++ {
+			ts.Payload = append(ts.Payload, pay(f.table, f.measures[m]))
+		}
+		ts.AggWidth = 1 + rng.Intn(4)
+		out = append(out, ts)
+		id++
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package workload defines the five benchmark suites of the paper's
+// evaluation — TPC-H (uniform), TPC-H Skew, SSB, TPC-DS and JOB/IMDb — as
+// schemas plus templatised query generators, and the three workload
+// regimes (static, dynamic shifting, dynamic random) that sequence them
+// over rounds.
+//
+// Templates are structural models of the original benchmark queries: the
+// same join shapes, predicate columns and payload widths, instantiated
+// with fresh constants every round. The tuners only ever see predicates,
+// payloads and observed times, so this is exactly the surface the paper's
+// experiments exercise.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/query"
+	"dbabandits/internal/storage"
+)
+
+// PredKind selects how a template predicate is instantiated.
+type PredKind int
+
+const (
+	// PredEqData draws an equality constant from a random stored row of
+	// the column — hot values are drawn proportionally to their
+	// frequency, as real workloads do.
+	PredEqData PredKind = iota
+	// PredRangeFrac draws a range covering roughly Frac of the column's
+	// value domain at a random position.
+	PredRangeFrac
+	// PredLtFrac / PredGtFrac draw open ranges covering roughly Frac of
+	// the domain from the bottom / top.
+	PredLtFrac
+	PredGtFrac
+)
+
+// PredSpec is one templated predicate.
+type PredSpec struct {
+	Table  string
+	Column string
+	Kind   PredKind
+	// Frac is the target domain fraction for range kinds.
+	Frac float64
+}
+
+// TemplateSpec is a structural query template.
+type TemplateSpec struct {
+	ID      int
+	Tables  []string
+	Preds   []PredSpec
+	Joins   []query.Join
+	Payload []query.ColumnRef
+	// AggWidth models the aggregation/sort tail weight.
+	AggWidth int
+}
+
+// Instantiate draws one query instance from the template.
+func (ts TemplateSpec) Instantiate(rng *rand.Rand, db *storage.Database, benchmark string) *query.Query {
+	q := &query.Query{
+		TemplateID: ts.ID,
+		Benchmark:  benchmark,
+		Tables:     append([]string(nil), ts.Tables...),
+		Joins:      append([]query.Join(nil), ts.Joins...),
+		Payload:    append([]query.ColumnRef(nil), ts.Payload...),
+		AggWidth:   ts.AggWidth,
+	}
+	for _, ps := range ts.Preds {
+		q.Filters = append(q.Filters, ps.instantiate(rng, db))
+	}
+	return q
+}
+
+func (ps PredSpec) instantiate(rng *rand.Rand, db *storage.Database) query.Predicate {
+	tbl, ok := db.Table(ps.Table)
+	if !ok {
+		panic(fmt.Sprintf("workload: template references missing table %q", ps.Table))
+	}
+	col, ok := tbl.Column(ps.Column)
+	if !ok {
+		panic(fmt.Sprintf("workload: template references missing column %s.%s", ps.Table, ps.Column))
+	}
+	meta, _ := tbl.Meta.Column(ps.Column)
+	min, max := meta.Stats.Min, meta.Stats.Max
+	span := max - min + 1
+
+	switch ps.Kind {
+	case PredEqData:
+		v := col[rng.Intn(len(col))]
+		return query.Predicate{Table: ps.Table, Column: ps.Column, Op: query.OpEq, Lo: v, Hi: v}
+	case PredRangeFrac:
+		width := int64(float64(span) * ps.Frac)
+		if width < 1 {
+			width = 1
+		}
+		lo := min
+		if span > width {
+			lo = min + rng.Int63n(span-width)
+		}
+		return query.Predicate{Table: ps.Table, Column: ps.Column, Op: query.OpRange, Lo: lo, Hi: lo + width - 1}
+	case PredLtFrac:
+		cut := min + int64(float64(span)*ps.Frac)
+		return query.Predicate{Table: ps.Table, Column: ps.Column, Op: query.OpLt, Hi: cut}
+	case PredGtFrac:
+		cut := max - int64(float64(span)*ps.Frac)
+		return query.Predicate{Table: ps.Table, Column: ps.Column, Op: query.OpGt, Lo: cut}
+	default:
+		panic(fmt.Sprintf("workload: unknown predicate kind %d", ps.Kind))
+	}
+}
+
+// Benchmark bundles a schema factory with its query templates.
+type Benchmark struct {
+	Name string
+	// NewSchema returns a fresh schema copy (datagen mutates stats).
+	NewSchema func() *catalog.Schema
+	Templates []TemplateSpec
+}
+
+// ByName returns a benchmark suite by its canonical name: "ssb", "tpch",
+// "tpch-skew", "tpcds", or "imdb".
+func ByName(name string) (*Benchmark, error) {
+	switch name {
+	case "ssb":
+		return SSB(), nil
+	case "tpch":
+		return TPCH(false), nil
+	case "tpch-skew":
+		return TPCH(true), nil
+	case "tpcds":
+		return TPCDS(), nil
+	case "imdb":
+		return IMDB(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+}
+
+// AllNames lists the benchmark names in the paper's figure order.
+func AllNames() []string {
+	return []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
+}
