@@ -1,0 +1,36 @@
+# Local verification targets mirroring .github/workflows/ci.yml, so a
+# green `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build test race fmt vet smoke bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent code (worker pool + harness).
+race:
+	$(GO) test -race ./internal/runner/... ./internal/harness/...
+
+# Fails when any file needs gofmt, listing the offenders.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# End-to-end smoke run: Figure 2, shrunken rounds, 4-way parallel sweep.
+smoke:
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -progress
+
+# Parallel-runner speedup benchmark (sequential vs all-CPU sweep).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkRunCellsStaticSweep -benchtime 1x .
+
+ci: fmt vet build test race smoke

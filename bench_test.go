@@ -9,6 +9,7 @@ package dbabandits
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dbabandits/internal/engine"
@@ -352,6 +353,52 @@ func BenchmarkAblationOracleFiltering(b *testing.B) {
 			b.ReportMetric(float64(n), "selected")
 		}
 	})
+}
+
+// --- parallel experiment runner ---
+
+// BenchmarkRunCellsStaticSweep measures the full static-regime sweep
+// (five benchmarks × NoIndex/PDTool/MAB) through harness.RunCells at
+// increasing worker counts. The parallel/1 case is the sequential
+// reference; on a 4-core runner the GOMAXPROCS case should show the
+// ≥2× wall-clock speedup the parallel runner exists for, with results
+// byte-identical at every setting (see TestRunCellsDeterministic).
+func BenchmarkRunCellsStaticSweep(b *testing.B) {
+	specs := func() []harness.CellSpec {
+		var out []harness.CellSpec
+		for _, bench := range workload.AllNames() {
+			for _, kind := range []harness.TunerKind{harness.NoIndex, harness.PDTool, harness.MAB} {
+				out = append(out, harness.CellSpec{
+					Options: harness.Options{
+						Benchmark:     bench,
+						Regime:        harness.Static,
+						Rounds:        benchRounds,
+						ScaleFactor:   10,
+						MaxStoredRows: benchStoredRows,
+						Seed:          1,
+					},
+					Tuner: kind,
+				})
+			}
+		}
+		return out
+	}
+	levels := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, par := range levels {
+		if seen[par] {
+			continue
+		}
+		seen[par] = true
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := harness.RunCells(specs(), harness.RunCellsOptions{Parallel: par})
+				if errs := harness.CellErrs(results); len(errs) > 0 {
+					b.Fatal(errs[0])
+				}
+			}
+		})
+	}
 }
 
 // --- micro benchmarks of the hot paths ---

@@ -3,30 +3,45 @@
 // substrate. Absolute times are simulated seconds, not the paper's
 // testbed wall-clock; the comparative shapes are what reproduce.
 //
+// Every sweep fans its independent experiment cells (benchmark × regime
+// × tuner × repetition) across a bounded worker pool. Output is
+// byte-identical at any -parallel setting: each cell derives its private
+// RNG seeds from the cell's identity alone, and results are collected in
+// spec order regardless of completion order. One failed cell does not
+// abort the sweep; all cell errors are reported at the end.
+//
 // Usage:
 //
-//	experiments -exp all            # everything (several minutes)
-//	experiments -exp fig2,fig3      # static convergence + totals
-//	experiments -exp table1         # time breakdown
-//	experiments -exp fig8 -reps 10  # RL comparison, 10 repetitions
+//	experiments -exp all             # everything, one worker per CPU
+//	experiments -exp fig2,fig3       # static convergence + totals
+//	experiments -exp table1          # time breakdown
+//	experiments -exp fig8 -reps 10   # RL comparison, 10 repetitions
+//	experiments -exp all -parallel 1 # sequential reference run
+//	experiments -exp all -progress   # per-cell completion lines on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"dbabandits/internal/harness"
 )
 
 var (
-	seed  = flag.Int64("seed", 1, "experiment seed")
-	sf    = flag.Float64("sf", 10, "scale factor for scalable benchmarks")
-	rows  = flag.Int("rows", 5000, "max stored rows per table")
-	reps  = flag.Int("reps", 3, "repetitions for the RL comparison (paper: 10)")
-	quick = flag.Bool("quick", false, "shrink rounds for a fast smoke run")
+	seed     = flag.Int64("seed", 1, "experiment seed")
+	sf       = flag.Float64("sf", 10, "scale factor for scalable benchmarks")
+	rows     = flag.Int("rows", 5000, "max stored rows per table")
+	reps     = flag.Int("reps", 3, "repetitions for the RL comparison (paper: 10)")
+	quick    = flag.Bool("quick", false, "shrink rounds for a fast smoke run")
+	parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max experiment cells run concurrently (output is identical at any value)")
+	progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
 )
+
+var benches = []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
 
 func main() {
 	exps := flag.String("exp", "all", "comma-separated: fig2,fig3,fig4,fig5,fig6,fig7,table1,table2,fig8,all")
@@ -38,17 +53,22 @@ func main() {
 	}
 	all := want["all"]
 
-	// Figures 2-7 and Table I share their runs: cache them per regime.
-	var staticRuns, shiftRuns, randomRuns map[string][]*harness.RunResult
+	// Figures 2-7 and Table I share their runs: collect the needed
+	// regimes and fan every cell out in a single sweep.
+	var regimes []harness.Regime
 	if all || want["fig2"] || want["fig3"] || want["table1"] {
-		staticRuns = runRegime(harness.Static)
+		regimes = append(regimes, harness.Static)
 	}
 	if all || want["fig4"] || want["fig5"] || want["table1"] {
-		shiftRuns = runRegime(harness.Shifting)
+		regimes = append(regimes, harness.Shifting)
 	}
 	if all || want["fig6"] || want["fig7"] || want["table1"] {
-		randomRuns = runRegime(harness.Random)
+		regimes = append(regimes, harness.Random)
 	}
+	byRegime := runRegimes(regimes)
+	staticRuns := byRegime[harness.Static]
+	shiftRuns := byRegime[harness.Shifting]
+	randomRuns := byRegime[harness.Random]
 
 	if all || want["fig2"] {
 		renderConvergenceSet("Figure 2 — static convergence", staticRuns)
@@ -101,40 +121,72 @@ func rounds(regime harness.Regime) int {
 	return 25
 }
 
-// runRegime executes NoIndex/PDTool/MAB on all five benchmarks.
-func runRegime(regime harness.Regime) map[string][]*harness.RunResult {
-	out := map[string][]*harness.RunResult{}
-	for _, bench := range []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"} {
-		opts := harness.Options{
-			Benchmark:     bench,
-			Regime:        regime,
-			Rounds:        rounds(regime),
-			ScaleFactor:   *sf,
-			MaxStoredRows: *rows,
-			Seed:          *seed,
+// sweepOptions are the RunCells knobs shared by every sweep.
+func sweepOptions() harness.RunCellsOptions {
+	opts := harness.RunCellsOptions{Parallel: *parallel}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	return opts
+}
+
+// runCells fans the specs across the worker pool and fails the process
+// only after the whole sweep has finished, reporting every cell error.
+func runCells(specs []harness.CellSpec) []harness.CellResult {
+	results := harness.RunCells(specs, sweepOptions())
+	if errs := harness.CellErrs(results); len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
 		}
-		if bench == "tpcds" && regime == harness.Random {
-			// The paper caps PDTool at 1 hour per invocation here.
-			opts.PDToolTimeLimitSec = 3600
-		}
-		exp, err := harness.New(opts)
-		if err != nil {
-			fatal(err)
-		}
-		for _, kind := range []harness.TunerKind{harness.NoIndex, harness.PDTool, harness.MAB} {
-			res, err := exp.Run(kind)
-			if err != nil {
-				fatal(fmt.Errorf("%s/%s/%s: %w", bench, regime, kind, err))
+		os.Exit(1)
+	}
+	return results
+}
+
+// cellSpec builds the sweep cell for one benchmark/regime/tuner point.
+func cellSpec(bench string, regime harness.Regime, kind harness.TunerKind) harness.CellSpec {
+	opts := harness.Options{
+		Benchmark:     bench,
+		Regime:        regime,
+		Rounds:        rounds(regime),
+		ScaleFactor:   *sf,
+		MaxStoredRows: *rows,
+		Seed:          *seed,
+	}
+	if bench == "tpcds" && regime == harness.Random {
+		// The paper caps PDTool at 1 hour per invocation here.
+		opts.PDToolTimeLimitSec = 3600
+	}
+	return harness.CellSpec{Options: opts, Tuner: kind}
+}
+
+// runRegimes executes NoIndex/PDTool/MAB on all five benchmarks for
+// every requested regime as one parallel sweep, then regroups the
+// results per regime and benchmark in spec order.
+func runRegimes(regimes []harness.Regime) map[harness.Regime]map[string][]*harness.RunResult {
+	var specs []harness.CellSpec
+	for _, regime := range regimes {
+		for _, bench := range benches {
+			for _, kind := range []harness.TunerKind{harness.NoIndex, harness.PDTool, harness.MAB} {
+				specs = append(specs, cellSpec(bench, regime, kind))
 			}
-			out[bench] = append(out[bench], res)
 		}
-		fmt.Fprintf(os.Stderr, "[done] %s %s\n", bench, regime)
+	}
+	results := runCells(specs)
+
+	out := map[harness.Regime]map[string][]*harness.RunResult{}
+	for _, r := range results {
+		regime, bench := r.Spec.Regime, r.Spec.Benchmark
+		if out[regime] == nil {
+			out[regime] = map[string][]*harness.RunResult{}
+		}
+		out[regime][bench] = append(out[regime][bench], r.Res)
 	}
 	return out
 }
 
 func renderConvergenceSet(title string, runs map[string][]*harness.RunResult) {
-	for _, bench := range []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"} {
+	for _, bench := range benches {
 		harness.RenderConvergence(os.Stdout, fmt.Sprintf("%s — %s", title, bench), runs[bench])
 		fmt.Println()
 	}
@@ -144,7 +196,7 @@ func renderConvergenceSet(title string, runs map[string][]*harness.RunResult) {
 // benchmark, the headline numbers of the paper's text.
 func renderSpeedups(runs map[string][]*harness.RunResult) {
 	fmt.Println("# MAB speed-up vs PDTool (total end-to-end time)")
-	for _, bench := range []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"} {
+	for _, bench := range benches {
 		var pd, mab float64
 		for _, r := range runs[bench] {
 			_, _, _, total := r.Totals()
@@ -161,40 +213,42 @@ func renderSpeedups(runs map[string][]*harness.RunResult) {
 }
 
 func table2() {
-	var rowsOut []harness.Table2Row
 	sfs := []float64{1, 10, 100}
 	if *quick {
 		sfs = []float64{1, 10}
 	}
+	var specs []harness.CellSpec
 	for _, bench := range []string{"tpch", "tpch-skew"} {
 		for _, factor := range sfs {
-			exp, err := harness.New(harness.Options{
-				Benchmark:     bench,
-				Regime:        harness.Static,
-				Rounds:        rounds(harness.Static),
-				ScaleFactor:   factor,
-				MaxStoredRows: *rows,
-				Seed:          *seed,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			row := harness.Table2Row{Benchmark: bench, SF: factor}
 			for _, kind := range []harness.TunerKind{harness.PDTool, harness.MAB} {
-				res, err := exp.Run(kind)
-				if err != nil {
-					fatal(err)
-				}
-				_, _, _, total := res.Totals()
-				if kind == harness.PDTool {
-					row.PDToolMin = total / 60
-				} else {
-					row.MABMin = total / 60
-				}
+				specs = append(specs, harness.CellSpec{
+					Options: harness.Options{
+						Benchmark:     bench,
+						Regime:        harness.Static,
+						Rounds:        rounds(harness.Static),
+						ScaleFactor:   factor,
+						MaxStoredRows: *rows,
+						Seed:          *seed,
+					},
+					Tuner: kind,
+				})
 			}
-			rowsOut = append(rowsOut, row)
-			fmt.Fprintf(os.Stderr, "[done] table2 %s sf=%.0f\n", bench, factor)
 		}
+	}
+	results := runCells(specs)
+
+	// Consecutive spec pairs (PDTool, MAB) share one table row.
+	var rowsOut []harness.Table2Row
+	for i := 0; i < len(results); i += 2 {
+		pd, mab := results[i], results[i+1]
+		_, _, _, pdTotal := pd.Res.Totals()
+		_, _, _, mabTotal := mab.Res.Totals()
+		rowsOut = append(rowsOut, harness.Table2Row{
+			Benchmark: pd.Spec.Benchmark,
+			SF:        pd.Spec.ScaleFactor,
+			PDToolMin: pdTotal / 60,
+			MABMin:    mabTotal / 60,
+		})
 	}
 	harness.RenderTable2(os.Stdout, rowsOut)
 	fmt.Println()
@@ -205,9 +259,10 @@ func fig8() {
 	if *quick {
 		fig8Rounds = 10
 	}
+	kinds := []harness.TunerKind{harness.PDTool, harness.MAB, harness.DDQN, harness.DDQNSC}
+	var specs []harness.CellSpec
 	for _, bench := range []string{"tpch", "tpch-skew"} {
-		methodRuns := map[harness.TunerKind][]*harness.RunResult{}
-		for _, kind := range []harness.TunerKind{harness.PDTool, harness.MAB, harness.DDQN, harness.DDQNSC} {
+		for _, kind := range kinds {
 			n := *reps
 			if kind == harness.PDTool || kind == harness.MAB {
 				// Deterministic methods need no repetition (the paper
@@ -215,36 +270,38 @@ func fig8() {
 				n = 1
 			}
 			for rep := 0; rep < n; rep++ {
-				exp, err := harness.New(harness.Options{
-					Benchmark:     bench,
-					Regime:        harness.Static,
-					Rounds:        fig8Rounds,
-					ScaleFactor:   *sf,
-					MaxStoredRows: *rows,
-					Seed:          *seed,
-					DDQNSeed:      int64(rep) + 1,
+				specs = append(specs, harness.CellSpec{
+					Options: harness.Options{
+						Benchmark:     bench,
+						Regime:        harness.Static,
+						Rounds:        fig8Rounds,
+						ScaleFactor:   *sf,
+						MaxStoredRows: *rows,
+						Seed:          *seed,
+					},
+					Tuner: kind,
+					// Rep keys the cell's derived DDQNSeed, so every
+					// repetition is a distinct deterministic agent.
+					Rep: rep,
 				})
-				if err != nil {
-					fatal(err)
-				}
-				res, err := exp.Run(kind)
-				if err != nil {
-					fatal(err)
-				}
-				methodRuns[kind] = append(methodRuns[kind], res)
 			}
-			fmt.Fprintf(os.Stderr, "[done] fig8 %s %s\n", bench, kind)
 		}
+	}
+	results := runCells(specs)
+
+	byBench := map[string]map[harness.TunerKind][]*harness.RunResult{}
+	for _, r := range results {
+		if byBench[r.Spec.Benchmark] == nil {
+			byBench[r.Spec.Benchmark] = map[harness.TunerKind][]*harness.RunResult{}
+		}
+		byBench[r.Spec.Benchmark][r.Spec.Tuner] = append(byBench[r.Spec.Benchmark][r.Spec.Tuner], r.Res)
+	}
+	for _, bench := range []string{"tpch", "tpch-skew"} {
 		var stats []harness.Fig8Stats
-		for _, kind := range []harness.TunerKind{harness.PDTool, harness.MAB, harness.DDQN, harness.DDQNSC} {
-			stats = append(stats, harness.SummariseRuns(kind, methodRuns[kind]))
+		for _, kind := range kinds {
+			stats = append(stats, harness.SummariseRuns(kind, byBench[bench][kind]))
 		}
 		harness.RenderFig8(os.Stdout, fmt.Sprintf("Figure 8 — %s (static, %d rounds)", bench, fig8Rounds), stats)
 		fmt.Println()
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

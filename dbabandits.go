@@ -17,7 +17,8 @@
 //     JOB/IMDb) and the three workload regimes (static, shifting,
 //     random); and
 //   - an experiment harness regenerating every figure and table of the
-//     paper's evaluation.
+//     paper's evaluation, with a parallel sweep runner (RunCells) that
+//     fans independent experiment cells across a bounded worker pool.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
@@ -30,6 +31,25 @@
 // For custom integrations, NewTuner returns the bandit tuner directly: feed
 // it each round's observed workload, materialise its recommendations, and
 // report back per-query execution statistics.
+//
+// # Parallel sweeps
+//
+// Evaluation sweeps are grids of independent cells (benchmark × regime ×
+// tuner × repetition). RunCells executes such a grid across a bounded
+// worker pool (see examples/sweep):
+//
+//	results := dbabandits.RunCells(specs, dbabandits.RunCellsOptions{
+//	    Parallel: runtime.GOMAXPROCS(0), Progress: os.Stderr,
+//	})
+//
+// The deterministic-seeding contract: every cell builds its own database
+// and workload sequence from its base Options.Seed (so all tuners of one
+// benchmark compare against identical data), while per-cell stochastic
+// state (the DDQN agent) draws its seed from a splittable hash of the
+// cell's identity Key(). Results therefore do not depend on the worker
+// count or on completion order — RunCells with Parallel: 8 reproduces
+// Parallel: 1 byte for byte — and one failed cell reports its error in
+// its CellResult without aborting sibling cells.
 package dbabandits
 
 import (
@@ -101,6 +121,12 @@ type (
 	TunerKind = harness.TunerKind
 	// Regime selects a workload regime.
 	Regime = harness.Regime
+	// CellSpec is one independent cell of a parallel sweep.
+	CellSpec = harness.CellSpec
+	// CellResult pairs a cell with its RunResult or error.
+	CellResult = harness.CellResult
+	// RunCellsOptions tune a RunCells sweep (parallelism, progress).
+	RunCellsOptions = harness.RunCellsOptions
 )
 
 // Tuning strategies.
@@ -130,6 +156,23 @@ func NewTuner(schema *Schema, dbSizeBytes int64, opts TunerOptions) *Tuner {
 func NewExperiment(opts ExperimentOptions) (*Experiment, error) {
 	return harness.New(opts)
 }
+
+// RunCells executes a sweep of independent experiment cells across a
+// bounded worker pool, returning one CellResult per spec in spec order.
+// Results are identical at every parallelism level; a failing cell is
+// reported in place without aborting its siblings.
+func RunCells(specs []CellSpec, opts RunCellsOptions) []CellResult {
+	return harness.RunCells(specs, opts)
+}
+
+// CellErrs collects every failed cell's error from a RunCells sweep.
+func CellErrs(results []CellResult) []error {
+	return harness.CellErrs(results)
+}
+
+// Speedup formats the relative improvement of b over a in percent, as
+// the paper reports its headline numbers.
+func Speedup(a, b float64) string { return harness.Speedup(a, b) }
 
 // BenchmarkByName returns one of the five benchmark suites: "ssb",
 // "tpch", "tpch-skew", "tpcds" or "imdb".

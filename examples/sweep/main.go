@@ -1,0 +1,64 @@
+// Sweep: fan a small benchmark × tuner grid across all CPUs with the
+// parallel experiment runner and print a per-cell summary. The results
+// are deterministic — rerunning with -parallel 1 produces the same
+// numbers in the same order.
+//
+//	go run ./examples/sweep
+//	go run ./examples/sweep -parallel 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"dbabandits"
+)
+
+func main() {
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max concurrent cells")
+	flag.Parse()
+
+	var specs []dbabandits.CellSpec
+	for _, bench := range []string{"ssb", "tpch", "tpch-skew"} {
+		for _, kind := range []dbabandits.TunerKind{dbabandits.NoIndex, dbabandits.MAB} {
+			specs = append(specs, dbabandits.CellSpec{
+				Options: dbabandits.ExperimentOptions{
+					Benchmark:     bench,
+					Regime:        dbabandits.Static,
+					Rounds:        8,
+					ScaleFactor:   10,
+					MaxStoredRows: 2000,
+					Seed:          42,
+				},
+				Tuner: kind,
+			})
+		}
+	}
+
+	results := dbabandits.RunCells(specs, dbabandits.RunCellsOptions{
+		Parallel: *parallel,
+		Progress: os.Stderr,
+	})
+	if errs := dbabandits.CellErrs(results); len(errs) > 0 {
+		log.Fatal(errs[0])
+	}
+
+	fmt.Printf("\n%-36s %12s %12s\n", "cell", "total (s)", "final (s)")
+	for _, r := range results {
+		_, _, _, total := r.Res.Totals()
+		fmt.Printf("%-36s %12.1f %12.1f\n", r.Spec.Key(), total, r.Res.FinalRoundExecSec())
+	}
+
+	// The grid is (benchmark, tuner) pairs in spec order, NoIndex before
+	// MAB, so adjacent results compare directly.
+	fmt.Println()
+	for i := 0; i < len(results); i += 2 {
+		_, _, _, base := results[i].Res.Totals()
+		_, _, _, tuned := results[i+1].Res.Totals()
+		fmt.Printf("%-10s MAB vs NoIndex: %s\n",
+			results[i].Spec.Benchmark, dbabandits.Speedup(base, tuned))
+	}
+}

@@ -1,0 +1,3 @@
+module dbabandits
+
+go 1.21

@@ -181,13 +181,19 @@ func RenderFig8(w io.Writer, title string, stats []Fig8Stats) {
 		fmt.Fprintf(w, "%26s", s.Tuner)
 	}
 	fmt.Fprintln(w)
-	if len(stats) == 0 {
-		return
+	n := 0
+	for _, s := range stats {
+		if len(s.MedianRounds) > n {
+			n = len(s.MedianRounds)
+		}
 	}
-	for i := range stats[0].MedianRounds {
+	for i := 0; i < n; i++ {
 		fmt.Fprintf(w, "%-6d", i+1)
 		for _, s := range stats {
-			cell := fmt.Sprintf("%.1f [%.1f, %.1f]", s.MedianRounds[i], s.Q1Rounds[i], s.Q3Rounds[i])
+			cell := "-"
+			if i < len(s.MedianRounds) {
+				cell = fmt.Sprintf("%.1f [%.1f, %.1f]", s.MedianRounds[i], s.Q1Rounds[i], s.Q3Rounds[i])
+			}
 			fmt.Fprintf(w, "%26s", cell)
 		}
 		fmt.Fprintln(w)

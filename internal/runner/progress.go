@@ -1,0 +1,30 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+)
+
+// Progress returns an Options.OnDone callback that writes one line per
+// completed task to w, labelling each task with labels[index] (or the
+// bare index when labels is short). Run already serialises OnDone
+// invocations, so the returned callback needs no locking of its own.
+//
+// Lines look like:
+//
+//	[ 3/15] tpch/static/mab
+//	[ 4/15] ssb/static/pdtool: ERROR: ...
+func Progress(w io.Writer, labels []string) func(index, done, total int, err error) {
+	return func(index, done, total int, err error) {
+		label := fmt.Sprintf("#%d", index)
+		if index < len(labels) {
+			label = labels[index]
+		}
+		width := len(fmt.Sprint(total))
+		if err != nil {
+			fmt.Fprintf(w, "[%*d/%d] %s: ERROR: %v\n", width, done, total, label, err)
+			return
+		}
+		fmt.Fprintf(w, "[%*d/%d] %s\n", width, done, total, label)
+	}
+}

@@ -1,0 +1,32 @@
+package runner
+
+// CellSeed derives a per-cell RNG seed from a sweep's base seed and the
+// cell's identity key (e.g. "tpch/static/ddqn/rep3"). The derivation is
+// a splittable splitmix64-style hash, so:
+//
+//   - the same (base, key) pair always yields the same seed, regardless
+//     of worker count, scheduling, or which sibling cells exist;
+//   - distinct keys yield statistically independent streams even for
+//     adjacent base seeds (splitmix64 is a full-avalanche finaliser);
+//   - the result is always positive, so it can feed APIs that reserve 0
+//     as "unseeded".
+func CellSeed(base int64, key string) int64 {
+	h := splitmix64(uint64(base))
+	for i := 0; i < len(key); i++ {
+		h = splitmix64(h ^ uint64(key[i]))
+	}
+	s := int64(h &^ (1 << 63)) // clear the sign bit
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// splitmix64 is the finalising mix of the SplitMix64 generator
+// (Steele, Lea & Flood 2014) — a cheap bijective full-avalanche hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,55 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCellSeedDeterministic(t *testing.T) {
+	for _, base := range []int64{0, 1, -5, 1 << 40} {
+		for _, key := range []string{"", "tpch/static/mab/rep0", "x"} {
+			a := CellSeed(base, key)
+			b := CellSeed(base, key)
+			if a != b {
+				t.Errorf("CellSeed(%d, %q) unstable: %d vs %d", base, key, a, b)
+			}
+			if a <= 0 {
+				t.Errorf("CellSeed(%d, %q) = %d, want positive", base, key, a)
+			}
+		}
+	}
+}
+
+// TestCellSeedSplits checks that realistic cell keys — and adjacent base
+// seeds — map to pairwise-distinct seeds.
+func TestCellSeedSplits(t *testing.T) {
+	seen := map[int64]string{}
+	add := func(seed int64, desc string) {
+		if prev, dup := seen[seed]; dup {
+			t.Errorf("seed collision: %s and %s both map to %d", prev, desc, seed)
+		}
+		seen[seed] = desc
+	}
+	benches := []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
+	regimes := []string{"static", "shifting", "random"}
+	tuners := []string{"noindex", "pdtool", "mab", "ddqn", "ddqn-sc"}
+	for _, base := range []int64{1, 2, 3} {
+		for _, b := range benches {
+			for _, r := range regimes {
+				for _, tn := range tuners {
+					for rep := 0; rep < 10; rep++ {
+						key := fmt.Sprintf("%s/%s/%s/rep%d", b, r, tn, rep)
+						add(CellSeed(base, key), fmt.Sprintf("base=%d key=%s", base, key))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellSeedBaseSensitivity(t *testing.T) {
+	key := "tpch/static/ddqn/rep0"
+	if CellSeed(1, key) == CellSeed(2, key) {
+		t.Error("adjacent bases produced identical seeds")
+	}
+}
