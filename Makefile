@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke bench ci
+.PHONY: build test race fmt vet smoke bench benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent code (worker pool + harness).
+# Race-detector pass over the concurrent code (worker pool + harness)
+# and the policy/env layers every experiment cell drives.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/harness/...
+	$(GO) test -race ./internal/runner/... ./internal/harness/... ./internal/policy/... ./internal/env/...
 
 # Fails when any file needs gofmt, listing the offenders.
 fmt:
@@ -33,4 +34,9 @@ smoke:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkRunCellsStaticSweep -benchtime 1x .
 
-ci: fmt vet build test race smoke
+# Compile-and-run smoke over every benchmark in the repo (one iteration
+# each), so benchmarks can't rot between perf-focused PRs.
+benchsmoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+ci: fmt vet build test race smoke benchsmoke

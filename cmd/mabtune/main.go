@@ -4,11 +4,16 @@
 // Usage:
 //
 //	mabtune -bench tpch-skew -regime static -tuner mab -rounds 25 -sf 10
+//	mabtune -bench ssb -tuner noindex,mab,advisor -series
 //
 // Benchmarks: ssb, tpch, tpch-skew, tpcds, imdb.
 // Regimes:    static, shifting, random.
-// Tuners:     noindex, pdtool, mab, ddqn, ddqn-sc (comma-separated list
-// allowed; all run against the identical database and workload sequence).
+// Tuners:     any registered policy name (comma-separated list allowed;
+// all run against the identical database and workload sequence). The
+// seed strategies are noindex, pdtool, mab, ddqn and ddqn-sc; additional
+// policies registered through the policy registry — such as the online
+// what-if advisor, "advisor" — are selectable here with no harness
+// changes.
 package main
 
 import (
@@ -18,13 +23,15 @@ import (
 	"strings"
 
 	"dbabandits/internal/harness"
+	"dbabandits/internal/policy"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "tpch", "benchmark: ssb|tpch|tpch-skew|tpcds|imdb")
-		regime  = flag.String("regime", "static", "workload regime: static|shifting|random")
-		tuners  = flag.String("tuner", "noindex,pdtool,mab", "comma-separated tuners: noindex|pdtool|mab|ddqn|ddqn-sc")
+		bench  = flag.String("bench", "tpch", "benchmark: ssb|tpch|tpch-skew|tpcds|imdb")
+		regime = flag.String("regime", "static", "workload regime: static|shifting|random")
+		tuners = flag.String("tuner", "noindex,pdtool,mab",
+			"comma-separated tuners: "+strings.Join(policy.Names(), "|"))
 		rounds  = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
 		sf      = flag.Float64("sf", 10, "scale factor")
 		rows    = flag.Int("rows", 5000, "max stored (physical) rows per table")

@@ -15,7 +15,12 @@
 //     design tool and a DDQN agent;
 //   - the five benchmark suites (TPC-H, TPC-H Skew, SSB, TPC-DS,
 //     JOB/IMDb) and the three workload regimes (static, shifting,
-//     random); and
+//     random);
+//   - a pluggable tuning-policy layer: every strategy implements the
+//     Policy interface, is constructed through a name-keyed registry
+//     (RegisterPolicy / PolicyNames), and runs through the ONE generic
+//     round-loop driver Experiment.RunPolicy — the seed strategies and
+//     an online what-if advisor baseline ship pre-registered; and
 //   - an experiment harness regenerating every figure and table of the
 //     paper's evaluation, with a parallel sweep runner (RunCells) that
 //     fans independent experiment cells across a bounded worker pool.
@@ -31,6 +36,22 @@
 // For custom integrations, NewTuner returns the bandit tuner directly: feed
 // it each round's observed workload, materialise its recommendations, and
 // report back per-query execution statistics.
+//
+// # Pluggable tuning policies
+//
+// A new tuning strategy needs no harness edits: implement Policy, register
+// a factory, and every experiment surface (Experiment.Run, RunCells, the
+// mabtune -tuner flag) can run it by name against the seed baselines:
+//
+//	dbabandits.RegisterPolicy("mine", func(e dbabandits.PolicyEnv, p dbabandits.PolicyParams) (dbabandits.Policy, error) {
+//	    return &minePolicy{budget: e.MemoryBudgetBytes()}, nil
+//	})
+//	res, err := exp.Run(dbabandits.TunerKind("mine"))
+//
+// The driver calls Recommend at the top of each round with only the
+// previously executed workload (policies never see the future), prices
+// and applies the configuration delta, executes the round, and feeds the
+// true execution statistics back through Observe.
 //
 // # Parallel sweeps
 //
@@ -60,6 +81,7 @@ import (
 	"dbabandits/internal/index"
 	"dbabandits/internal/mab"
 	"dbabandits/internal/optimizer"
+	"dbabandits/internal/policy"
 	"dbabandits/internal/query"
 	"dbabandits/internal/storage"
 	"dbabandits/internal/workload"
@@ -128,6 +150,32 @@ type (
 	// RunCellsOptions tune a RunCells sweep (parallelism, progress).
 	RunCellsOptions = harness.RunCellsOptions
 )
+
+// Pluggable tuning-policy layer types.
+type (
+	// Policy is one tuning strategy, driven round by round by the
+	// generic driver (Experiment.RunPolicy).
+	Policy = policy.Policy
+	// PolicyEnv is the read-only environment view a policy factory may
+	// consult (schema, budget, what-if optimiser, regime, rounds).
+	PolicyEnv = policy.Env
+	// PolicyParams carries per-strategy knobs (bandit ablations, DDQN
+	// seed, PDTool time limit).
+	PolicyParams = policy.Params
+	// PolicyFactory builds a policy against a prepared environment.
+	PolicyFactory = policy.Factory
+	// PolicyRecommendation is a policy's per-round decision: the full
+	// configuration for the round plus the modelled decision time.
+	PolicyRecommendation = policy.Recommendation
+)
+
+// RegisterPolicy adds a named tuning strategy to the registry; it is then
+// runnable by name everywhere a TunerKind is accepted. Registering a name
+// twice panics.
+func RegisterPolicy(name string, f PolicyFactory) { policy.Register(name, f) }
+
+// PolicyNames lists every registered tuning strategy, sorted.
+func PolicyNames() []string { return policy.Names() }
 
 // Tuning strategies.
 const (

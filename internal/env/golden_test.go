@@ -1,0 +1,79 @@
+package env
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbabandits/internal/policy"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the RunResult golden files from the current driver")
+
+// TestRunPolicyMatchesPreRefactorGoldens pins the generic driver to the
+// pre-refactor harness byte for byte: the golden files were captured
+// from the four per-tuner round loops (runNoIndex/runMAB/runPDTool/
+// runDDQN) before they were collapsed into RunPolicy, on small
+// fixed-seed runs of all three regimes — static covers every seed
+// tuner, shifting and random cover the regime-dependent PDTool paths
+// (invocation schedule, trailing-window training). Any numeric or
+// accounting drift in the refactored round loop shows up as a byte
+// diff here.
+func TestRunPolicyMatchesPreRefactorGoldens(t *testing.T) {
+	cases := []struct {
+		regime Regime
+		rounds int
+		prefix string
+		tuners []TunerKind
+	}{
+		{Static, 5, "", []TunerKind{NoIndex, PDTool, MAB, DDQN, DDQNSC}},
+		{Shifting, 8, "shifting_", []TunerKind{NoIndex, PDTool, MAB}},
+		{Random, 9, "random_", []TunerKind{NoIndex, PDTool, MAB}},
+	}
+	for _, c := range cases {
+		e, err := New(Options{
+			Benchmark:     "ssb",
+			Regime:        c.regime,
+			ScaleFactor:   10,
+			MaxStoredRows: 2000,
+			Rounds:        c.rounds,
+			Seed:          7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Opts.DDQNSeed = 7
+		for _, kind := range c.tuners {
+			p, err := policy.New(string(kind), e, e.policyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.RunPolicy(p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.regime, kind, err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden_"+c.prefix+string(kind)+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s/%s: RunResult JSON diverged from the pre-refactor capture (run with -update-golden only if the change is intended)\n got: %s", c.regime, kind, got)
+			}
+		}
+	}
+}

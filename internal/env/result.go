@@ -1,0 +1,54 @@
+package env
+
+// TunerKind names a tuning strategy (a policy-registry name).
+type TunerKind string
+
+// The four strategies of the paper's evaluation (plus the single-column
+// DDQN variant of Figure 8). Any other registered policy name is equally
+// valid — these constants exist for the seed comparisons.
+const (
+	NoIndex TunerKind = "noindex"
+	PDTool  TunerKind = "pdtool"
+	MAB     TunerKind = "mab"
+	DDQN    TunerKind = "ddqn"
+	DDQNSC  TunerKind = "ddqn-sc"
+)
+
+// RoundResult is one round's breakdown.
+type RoundResult struct {
+	Round        int
+	RecommendSec float64
+	CreateSec    float64
+	ExecSec      float64
+	NumIndexes   int
+}
+
+// TotalSec is the round's end-to-end time.
+func (r RoundResult) TotalSec() float64 { return r.RecommendSec + r.CreateSec + r.ExecSec }
+
+// RunResult aggregates an experiment run.
+type RunResult struct {
+	Benchmark string
+	Regime    Regime
+	Tuner     TunerKind
+	Rounds    []RoundResult
+}
+
+// Totals returns the summed breakdown.
+func (r *RunResult) Totals() (rec, create, exec, total float64) {
+	for _, rr := range r.Rounds {
+		rec += rr.RecommendSec
+		create += rr.CreateSec
+		exec += rr.ExecSec
+	}
+	return rec, create, exec, rec + create + exec
+}
+
+// FinalRoundExecSec returns the last round's execution time (the paper's
+// "best search strategy" comparison).
+func (r *RunResult) FinalRoundExecSec() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	return r.Rounds[len(r.Rounds)-1].ExecSec
+}

@@ -1,0 +1,69 @@
+package env
+
+import (
+	"dbabandits/internal/index"
+	"dbabandits/internal/policy"
+	"dbabandits/internal/query"
+)
+
+// Run constructs the named policy from the registry and drives it with
+// RunPolicy. Per-strategy knobs are projected from Opts at call time.
+func (e *Environment) Run(kind TunerKind) (*RunResult, error) {
+	p, err := policy.New(string(kind), e, e.policyParams())
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.RunPolicy(p)
+	if err != nil {
+		return nil, err
+	}
+	// The requested registry name wins over Policy.Name(): a policy whose
+	// Name diverges from its registration must not mislabel result rows.
+	res.Tuner = kind
+	return res, nil
+}
+
+// RunPolicy is the one round-loop driver of Algorithm 2's protocol,
+// shared by every tuning strategy. Each round it (1) asks the policy for
+// a configuration given only the previously executed workload, (2) diffs
+// it against the current configuration and prices the index creations,
+// (3) executes the round's workload under it, and (4) feeds the true
+// execution statistics and creation costs back to the policy. The
+// per-round recommendation / creation / execution breakdown is exactly
+// what every figure and table of the evaluation reports.
+func (e *Environment) RunPolicy(p policy.Policy) (*RunResult, error) {
+	defer p.Close()
+	res := &RunResult{
+		Benchmark: e.Opts.Benchmark,
+		Regime:    e.Opts.Regime,
+		Tuner:     TunerKind(p.Name()),
+	}
+	cfg := index.NewConfig()
+	var lastWorkload []*query.Query
+	for r := 1; r <= e.Seq.Rounds(); r++ {
+		rec := p.Recommend(r, lastWorkload)
+		next := rec.Config
+		if next == nil {
+			next = cfg
+		}
+		perCreate, createSec := e.CreationCost(next.Diff(cfg))
+		cfg = next
+
+		wl := e.Seq.Round(r)
+		exec, stats, err := e.ExecuteWorkload(wl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Observe(stats, perCreate)
+		lastWorkload = wl
+
+		res.Rounds = append(res.Rounds, RoundResult{
+			Round:        r,
+			RecommendSec: rec.RecommendSec,
+			CreateSec:    createSec,
+			ExecSec:      exec,
+			NumIndexes:   cfg.Len(),
+		})
+	}
+	return res, nil
+}

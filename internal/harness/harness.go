@@ -1,472 +1,55 @@
-// Package harness drives the paper's experiments end to end: it wires a
-// benchmark database, the optimiser and executor, and one of the four
-// tuning strategies (NoIndex, PDTool, MAB, DDQN) through the round loop
-// of Section II, recording the per-round recommendation / index creation
-// / execution breakdown that every figure and table reports.
+// Package harness is the experiment-facing layer over the policy/env
+// split: internal/policy defines pluggable tuning strategies and their
+// registry, internal/env prepares the simulation environment and drives
+// every strategy through the single generic round loop
+// (Environment.RunPolicy). This package re-exports those building blocks
+// under their historical names and adds what only experiments need —
+// parallel sweep cells (RunCells) and the figure/table renderers.
+//
+// There is exactly one round-loop driver in the system: env.RunPolicy.
+// Adding a tuning strategy means registering a policy.Factory; no code
+// in this package changes.
 package harness
 
 import (
-	"fmt"
-
-	"dbabandits/internal/catalog"
-	"dbabandits/internal/datagen"
-	"dbabandits/internal/ddqn"
-	"dbabandits/internal/engine"
-	"dbabandits/internal/index"
-	"dbabandits/internal/linalg"
-	"dbabandits/internal/mab"
-	"dbabandits/internal/optimizer"
-	"dbabandits/internal/pdtool"
-	"dbabandits/internal/query"
-	"dbabandits/internal/storage"
-	"dbabandits/internal/workload"
+	"dbabandits/internal/env"
 )
 
-// TunerKind names a tuning strategy.
-type TunerKind string
+// TunerKind names a tuning strategy (a policy-registry name).
+type TunerKind = env.TunerKind
 
 // The four strategies of the evaluation (plus the single-column DDQN
 // variant of Figure 8).
 const (
-	NoIndex TunerKind = "noindex"
-	PDTool  TunerKind = "pdtool"
-	MAB     TunerKind = "mab"
-	DDQN    TunerKind = "ddqn"
-	DDQNSC  TunerKind = "ddqn-sc"
+	NoIndex = env.NoIndex
+	PDTool  = env.PDTool
+	MAB     = env.MAB
+	DDQN    = env.DDQN
+	DDQNSC  = env.DDQNSC
 )
 
 // Regime names a workload regime.
-type Regime string
+type Regime = env.Regime
 
 // The three regimes of Section V-A.
 const (
-	Static   Regime = "static"
-	Shifting Regime = "shifting"
-	Random   Regime = "random"
+	Static   = env.Static
+	Shifting = env.Shifting
+	Random   = env.Random
 )
 
 // Options configure one experiment.
-type Options struct {
-	Benchmark string
-	Regime    Regime
-	// ScaleFactor defaults to 10 (the paper's default); Table II uses 1
-	// and 100.
-	ScaleFactor float64
-	// MaxStoredRows caps physical rows (default 5000 — small enough for
-	// fast experiment turnaround, large enough for stable selectivities).
-	MaxStoredRows int
-	// Rounds overrides the regime default (25 static/random, 80 shifting).
-	Rounds int
-	// Seed drives data generation and workload sequencing.
-	Seed int64
-	// MemoryBudgetX is the index budget as a multiple of the data size
-	// (default 1.0, the paper's setting).
-	MemoryBudgetX float64
-	// PDToolTimeLimitSec caps a single PDTool invocation (the paper caps
-	// TPC-DS dynamic random at 1 hour). 0 = unlimited.
-	PDToolTimeLimitSec float64
-	// MABOptions tweaks the bandit (ablations).
-	MABOptions mab.TunerOptions
-	// MABWarmStartRounds pre-trains the bandit with what-if estimated
-	// rewards over the first round's workload before the real loop (the
-	// cold-start mitigation of Section VII). 0 disables.
-	MABWarmStartRounds int
-	// DDQNSeed seeds the agent separately (Figure 8 repeats runs).
-	DDQNSeed int64
-}
+type Options = env.Options
 
-// Experiment is a prepared benchmark environment that can run any tuner
-// over the same data and workload sequence.
-type Experiment struct {
-	Opts   Options
-	Bench  *workload.Benchmark
-	Schema *catalog.Schema
-	DB     *storage.Database
-	CM     *engine.CostModel
-	Opt    *optimizer.Optimizer
-	Seq    workload.Sequencer
-	Budget int64
-}
-
-// New prepares an experiment.
-func New(opts Options) (*Experiment, error) {
-	bench, err := workload.ByName(opts.Benchmark)
-	if err != nil {
-		return nil, err
-	}
-	if opts.ScaleFactor <= 0 {
-		opts.ScaleFactor = 10
-	}
-	if opts.MaxStoredRows <= 0 {
-		opts.MaxStoredRows = 5000
-	}
-	if opts.MemoryBudgetX <= 0 {
-		opts.MemoryBudgetX = 1
-	}
-	schema := bench.NewSchema()
-	db, err := datagen.Build(schema, datagen.Options{
-		Seed:          opts.Seed,
-		ScaleFactor:   opts.ScaleFactor,
-		MaxStoredRows: opts.MaxStoredRows,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cm := engine.DefaultCostModel()
-	e := &Experiment{
-		Opts:   opts,
-		Bench:  bench,
-		Schema: schema,
-		DB:     db,
-		CM:     cm,
-		Opt:    optimizer.New(schema, cm),
-		Budget: int64(float64(db.DataSizeBytes()) * opts.MemoryBudgetX),
-	}
-	switch opts.Regime {
-	case Static:
-		e.Seq = workload.NewStatic(bench, db, opts.Seed, opts.Rounds)
-	case Shifting:
-		rpg := 20
-		if opts.Rounds > 0 {
-			rpg = opts.Rounds / 4
-		}
-		e.Seq = workload.NewShifting(bench, db, opts.Seed, 4, rpg)
-	case Random:
-		e.Seq = workload.NewRandom(bench, db, opts.Seed, opts.Rounds, 0)
-	default:
-		return nil, fmt.Errorf("harness: unknown regime %q", opts.Regime)
-	}
-	return e, nil
-}
+// Experiment is a prepared benchmark environment that can run any
+// registered tuning policy over the same data and workload sequence.
+type Experiment = env.Environment
 
 // RoundResult is one round's breakdown.
-type RoundResult struct {
-	Round        int
-	RecommendSec float64
-	CreateSec    float64
-	ExecSec      float64
-	NumIndexes   int
-}
-
-// TotalSec is the round's end-to-end time.
-func (r RoundResult) TotalSec() float64 { return r.RecommendSec + r.CreateSec + r.ExecSec }
+type RoundResult = env.RoundResult
 
 // RunResult aggregates an experiment run.
-type RunResult struct {
-	Benchmark string
-	Regime    Regime
-	Tuner     TunerKind
-	Rounds    []RoundResult
-}
+type RunResult = env.RunResult
 
-// Totals returns the summed breakdown.
-func (r *RunResult) Totals() (rec, create, exec, total float64) {
-	for _, rr := range r.Rounds {
-		rec += rr.RecommendSec
-		create += rr.CreateSec
-		exec += rr.ExecSec
-	}
-	return rec, create, exec, rec + create + exec
-}
-
-// FinalRoundExecSec returns the last round's execution time (the paper's
-// "best search strategy" comparison).
-func (r *RunResult) FinalRoundExecSec() float64 {
-	if len(r.Rounds) == 0 {
-		return 0
-	}
-	return r.Rounds[len(r.Rounds)-1].ExecSec
-}
-
-// Run executes the experiment with the given tuner.
-func (e *Experiment) Run(kind TunerKind) (*RunResult, error) {
-	switch kind {
-	case NoIndex:
-		return e.runNoIndex()
-	case PDTool:
-		return e.runPDTool()
-	case MAB:
-		return e.runMAB()
-	case DDQN:
-		return e.runDDQN(false)
-	case DDQNSC:
-		return e.runDDQN(true)
-	default:
-		return nil, fmt.Errorf("harness: unknown tuner %q", kind)
-	}
-}
-
-// executeWorkload runs one round's queries under the configuration and
-// returns the summed execution time plus the per-query stats.
-func (e *Experiment) executeWorkload(queries []*query.Query, cfg *index.Config) (float64, []*engine.ExecStats, error) {
-	var total float64
-	stats := make([]*engine.ExecStats, 0, len(queries))
-	for _, q := range queries {
-		plan, err := e.Opt.ChoosePlan(q, cfg)
-		if err != nil {
-			return 0, nil, fmt.Errorf("planning template %d: %w", q.TemplateID, err)
-		}
-		st, err := engine.Execute(e.DB, plan, e.CM)
-		if err != nil {
-			return 0, nil, fmt.Errorf("executing template %d: %w", q.TemplateID, err)
-		}
-		total += st.TotalSec
-		stats = append(stats, st)
-	}
-	return total, stats, nil
-}
-
-// creationCost prices materialising the given indexes and returns the
-// per-index seconds plus the sum.
-func (e *Experiment) creationCost(toCreate []*index.Index) (map[string]float64, float64) {
-	per := make(map[string]float64, len(toCreate))
-	var total float64
-	for _, ix := range toCreate {
-		meta, ok := e.Schema.Table(ix.Table)
-		if !ok {
-			continue
-		}
-		sec := e.CM.IndexBuildSec(meta, ix.SizeBytes(meta))
-		per[ix.ID()] = sec
-		total += sec
-	}
-	return per, total
-}
-
-func (e *Experiment) runNoIndex() (*RunResult, error) {
-	res := &RunResult{Benchmark: e.Opts.Benchmark, Regime: e.Opts.Regime, Tuner: NoIndex}
-	empty := index.NewConfig()
-	for r := 1; r <= e.Seq.Rounds(); r++ {
-		exec, _, err := e.executeWorkload(e.Seq.Round(r), empty)
-		if err != nil {
-			return nil, err
-		}
-		res.Rounds = append(res.Rounds, RoundResult{Round: r, ExecSec: exec})
-	}
-	return res, nil
-}
-
-func (e *Experiment) runMAB() (*RunResult, error) {
-	res := &RunResult{Benchmark: e.Opts.Benchmark, Regime: e.Opts.Regime, Tuner: MAB}
-	opts := e.Opts.MABOptions
-	if opts.MemoryBudgetBytes == 0 {
-		opts.MemoryBudgetBytes = e.Budget
-	}
-	tuner := mab.NewTuner(e.Schema, e.DB.DataSizeBytes(), opts)
-	if e.Opts.MABWarmStartRounds > 0 {
-		training := e.Seq.Round(1)
-		empty := index.NewConfig()
-		tuner.WarmStart(training, func(a *mab.Arm) float64 {
-			var gain float64
-			trial := index.NewConfig()
-			trial.Add(a.Index)
-			for _, q := range training {
-				if !q.ReferencesTable(a.Table) {
-					continue
-				}
-				base, err1 := e.Opt.WhatIfCost(q, empty)
-				with, err2 := e.Opt.WhatIfCost(q, trial)
-				if err1 != nil || err2 != nil {
-					continue
-				}
-				gain += base - with
-			}
-			if gain < 0 {
-				// Feed only non-negative estimated gains: a pessimistic
-				// prior would permanently suppress exploration of those
-				// arms (see mab warm-start tests).
-				gain = 0
-			}
-			return gain
-		}, e.Opts.MABWarmStartRounds)
-	}
-	var lastWorkload []*query.Query
-	for r := 1; r <= e.Seq.Rounds(); r++ {
-		rec := tuner.Recommend(lastWorkload)
-		perCreate, createSec := e.creationCost(rec.ToCreate)
-		wl := e.Seq.Round(r)
-		exec, stats, err := e.executeWorkload(wl, rec.Config)
-		if err != nil {
-			return nil, err
-		}
-		tuner.ObserveExecution(stats, perCreate)
-		lastWorkload = wl
-		res.Rounds = append(res.Rounds, RoundResult{
-			Round: r, RecommendSec: rec.RecommendSec, CreateSec: createSec,
-			ExecSec: exec, NumIndexes: rec.Config.Len(),
-		})
-	}
-	return res, nil
-}
-
-// pdtoolInvocationRounds returns the rounds at which the PDTool is
-// retrained, per the paper: static — round 2 (after observing round 1);
-// shifting — the round after each group's first round (2, 22, 42, 62);
-// random — every 4 rounds (5, 9, 13, ...), trained on the trailing
-// window.
-func (e *Experiment) pdtoolInvocationRounds() map[int]bool {
-	out := map[int]bool{}
-	switch e.Opts.Regime {
-	case Static:
-		out[2] = true
-	case Shifting:
-		total := e.Seq.Rounds()
-		perGroup := total / 4
-		for g := 0; g < 4; g++ {
-			out[g*perGroup+2] = true
-		}
-	case Random:
-		for r := 5; r <= e.Seq.Rounds(); r += 4 {
-			out[r] = true
-		}
-	}
-	return out
-}
-
-func (e *Experiment) runPDTool() (*RunResult, error) {
-	res := &RunResult{Benchmark: e.Opts.Benchmark, Regime: e.Opts.Regime, Tuner: PDTool}
-	advisor := pdtool.New(e.Schema, e.Opt, pdtool.Options{
-		MemoryBudgetBytes: e.Budget,
-		TimeLimitSec:      e.Opts.PDToolTimeLimitSec,
-	})
-	invocations := e.pdtoolInvocationRounds()
-	cfg := index.NewConfig()
-	var history []*query.Query
-	trainWindow := 4 // trailing rounds used as training in the random regime
-
-	var windows [][]*query.Query
-	for r := 1; r <= e.Seq.Rounds(); r++ {
-		wl := e.Seq.Round(r)
-		rr := RoundResult{Round: r}
-		if invocations[r] {
-			var training []*query.Query
-			if e.Opts.Regime == Random {
-				start := len(windows) - trainWindow
-				if start < 0 {
-					start = 0
-				}
-				for _, w := range windows[start:] {
-					training = append(training, w...)
-				}
-			} else {
-				// Static and shifting: the previous round's queries are
-				// representative of what's to come (the paper's
-				// PDTool-favourable assumption).
-				training = history
-			}
-			rec := advisor.Recommend(training)
-			rr.RecommendSec = rec.RecommendSec
-			toCreate := rec.Config.Diff(cfg)
-			_, createSec := e.creationCost(toCreate)
-			rr.CreateSec = createSec
-			cfg = rec.Config
-		}
-		exec, _, err := e.executeWorkload(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rr.ExecSec = exec
-		rr.NumIndexes = cfg.Len()
-		res.Rounds = append(res.Rounds, rr)
-		history = wl
-		windows = append(windows, wl)
-	}
-	return res, nil
-}
-
-func (e *Experiment) runDDQN(singleColumn bool) (*RunResult, error) {
-	kind := DDQN
-	if singleColumn {
-		kind = DDQNSC
-	}
-	res := &RunResult{Benchmark: e.Opts.Benchmark, Regime: e.Opts.Regime, Tuner: kind}
-
-	ctxb := mab.NewContextBuilder(e.Schema)
-	gen := mab.NewArmGenerator(e.Schema, mab.ArmGenOptions{})
-	store := mab.NewQueryStore()
-	agent := ddqn.NewAgent(ctxb.Dim(), ddqn.AgentOptions{
-		Seed:         e.Opts.DDQNSeed,
-		SingleColumn: singleColumn,
-	})
-
-	cfg := index.NewConfig()
-	usage := map[string]float64{}
-	var lastWorkload []*query.Query
-	var pendingCtxs []linalg.Vector
-	var pendingRewards []float64
-
-	for r := 1; r <= e.Seq.Rounds(); r++ {
-		if len(lastWorkload) > 0 {
-			store.Observe(r-1, lastWorkload)
-		}
-		qois := store.QoI(r - 1)
-		arms := gen.Generate(qois)
-		predCols := mab.PredicateColumnSet(qois)
-		contexts := make([]linalg.Vector, len(arms))
-		for i, a := range arms {
-			contexts[i] = ctxb.Build(a, mab.ArmInfo{
-				PredicateColumns: predCols,
-				Materialised:     cfg.Has(a.ID()),
-				Usage:            usage[a.ID()],
-				DatabaseBytes:    e.DB.DataSizeBytes(),
-			})
-		}
-
-		// Deliver the previous round's feedback with this round's
-		// candidates as the bootstrap set.
-		if pendingCtxs != nil {
-			agent.Observe(pendingCtxs, pendingRewards, contexts)
-		}
-
-		selected := agent.SelectConfig(arms, contexts, e.Budget)
-		next := index.NewConfig()
-		for _, a := range selected {
-			next.Add(a.Index)
-		}
-		toCreate := next.Diff(cfg)
-		perCreate, createSec := e.creationCost(toCreate)
-		createdIDs := map[string]bool{}
-		for _, ix := range toCreate {
-			createdIDs[ix.ID()] = true
-		}
-		cfg = next
-
-		wl := e.Seq.Round(r)
-		exec, stats, err := e.executeWorkload(wl, cfg)
-		if err != nil {
-			return nil, err
-		}
-
-		gains, used := mab.GainsFromStats(stats)
-		pendingCtxs = nil
-		pendingRewards = nil
-		selCtxIdx := map[string]linalg.Vector{}
-		for i, a := range arms {
-			selCtxIdx[a.ID()] = contexts[i]
-		}
-		for _, a := range selected {
-			rwd := gains[a.ID()]
-			if createdIDs[a.ID()] {
-				rwd -= perCreate[a.ID()]
-			}
-			pendingCtxs = append(pendingCtxs, selCtxIdx[a.ID()])
-			pendingRewards = append(pendingRewards, rwd)
-		}
-		for id := range usage {
-			usage[id] *= 0.6
-		}
-		for id := range used {
-			usage[id]++
-		}
-		lastWorkload = wl
-
-		res.Rounds = append(res.Rounds, RoundResult{
-			Round:        r,
-			RecommendSec: 0.0012 * float64(len(arms)),
-			CreateSec:    createSec,
-			ExecSec:      exec,
-			NumIndexes:   cfg.Len(),
-		})
-	}
-	return res, nil
-}
+// New prepares an experiment.
+func New(opts Options) (*Experiment, error) { return env.New(opts) }

@@ -28,7 +28,7 @@ func TestProbeMABTrace(t *testing.T) {
 	var last []*query.Query
 	for r := 1; r <= 12; r++ {
 		rec := tuner.Recommend(last)
-		per, createSec := e.creationCost(rec.ToCreate)
+		per, createSec := e.CreationCost(rec.ToCreate)
 		wl := e.Seq.Round(r)
 		var stats []*engine.ExecStats
 		var exec float64

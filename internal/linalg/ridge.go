@@ -96,15 +96,16 @@ func (rs *RidgeState) Forget(gamma float64) {
 		gamma = 1
 	}
 	keep := 1 - gamma
+	// V <- keep*V + gamma*lambda*I, scaling the backing slice directly
+	// (the bounds-checked At/Set element loop dominated Forget's cost at
+	// C2UCB context dimensions).
+	for i := range rs.V.Data {
+		rs.V.Data[i] *= keep
+	}
 	n := rs.Dim
+	add := gamma * rs.Lambda
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			v := rs.V.At(i, j) * keep
-			if i == j {
-				v += gamma * rs.Lambda
-			}
-			rs.V.Set(i, j, v)
-		}
+		rs.V.Data[i*n+i] += add
 	}
 	rs.B.Scale(keep)
 	rs.rebase()

@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"dbabandits/internal/ddqn"
+	"dbabandits/internal/engine"
+	"dbabandits/internal/index"
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/mab"
+	"dbabandits/internal/query"
+)
+
+func init() {
+	Register("ddqn", func(e Env, p Params) (Policy, error) { return newDDQN(e, p, false) })
+	Register("ddqn-sc", func(e Env, p Params) (Policy, error) { return newDDQN(e, p, true) })
+}
+
+// ddqnPolicy adapts the DDQN reinforcement-learning baseline (Figure 8).
+// It consumes the same arms and contexts as the MAB tuner; the previous
+// round's feedback is delivered lazily at the next Recommend, because
+// the double-Q bootstrap needs the next round's candidate contexts.
+type ddqnPolicy struct {
+	name   string
+	agent  *ddqn.Agent
+	ctxb   *mab.ContextBuilder
+	gen    *mab.ArmGenerator
+	store  *mab.QueryStore
+	dbSize int64
+	budget int64
+
+	cfg   *index.Config
+	usage map[string]float64
+
+	// Pending feedback: the arms selected this round, their decision-time
+	// contexts, and which of them were materialised this round. Observe
+	// turns these into (context, reward) pairs held until the next
+	// Recommend supplies the bootstrap candidates.
+	selected       []*mab.Arm
+	selectedCtxs   map[string]linalg.Vector
+	createdIDs     map[string]bool
+	pendingCtxs    []linalg.Vector
+	pendingRewards []float64
+}
+
+func newDDQN(e Env, p Params, singleColumn bool) (Policy, error) {
+	name := "ddqn"
+	if singleColumn {
+		name = "ddqn-sc"
+	}
+	ctxb := mab.NewContextBuilder(e.Catalog())
+	return &ddqnPolicy{
+		name:  name,
+		agent: ddqn.NewAgent(ctxb.Dim(), ddqn.AgentOptions{Seed: p.DDQNSeed, SingleColumn: singleColumn}),
+		ctxb:  ctxb,
+		gen:   mab.NewArmGenerator(e.Catalog(), mab.ArmGenOptions{}),
+		store: mab.NewQueryStore(),
+
+		dbSize: e.DataSizeBytes(),
+		budget: e.MemoryBudgetBytes(),
+		cfg:    index.NewConfig(),
+		usage:  map[string]float64{},
+	}, nil
+}
+
+func (p *ddqnPolicy) Name() string { return p.name }
+
+func (p *ddqnPolicy) Recommend(round int, lastWorkload []*query.Query) Recommendation {
+	if len(lastWorkload) > 0 {
+		p.store.Observe(round-1, lastWorkload)
+	}
+	qois := p.store.QoI(round - 1)
+	arms := p.gen.Generate(qois)
+	predCols := mab.PredicateColumnSet(qois)
+	contexts := make([]linalg.Vector, len(arms))
+	for i, a := range arms {
+		contexts[i] = p.ctxb.Build(a, mab.ArmInfo{
+			PredicateColumns: predCols,
+			Materialised:     p.cfg.Has(a.ID()),
+			Usage:            p.usage[a.ID()],
+			DatabaseBytes:    p.dbSize,
+		})
+	}
+
+	// Deliver the previous round's feedback with this round's candidates
+	// as the bootstrap set.
+	if p.pendingCtxs != nil {
+		p.agent.Observe(p.pendingCtxs, p.pendingRewards, contexts)
+		p.pendingCtxs, p.pendingRewards = nil, nil
+	}
+
+	selected := p.agent.SelectConfig(arms, contexts, p.budget)
+	next := index.NewConfig()
+	for _, a := range selected {
+		next.Add(a.Index)
+	}
+	p.createdIDs = map[string]bool{}
+	for _, ix := range next.Diff(p.cfg) {
+		p.createdIDs[ix.ID()] = true
+	}
+	p.selected = selected
+	p.selectedCtxs = map[string]linalg.Vector{}
+	for i, a := range arms {
+		p.selectedCtxs[a.ID()] = contexts[i]
+	}
+	p.cfg = next
+
+	return Recommendation{Config: next, RecommendSec: 0.0012 * float64(len(arms))}
+}
+
+func (p *ddqnPolicy) Observe(stats []*engine.ExecStats, creationSec map[string]float64) {
+	gains, used := mab.GainsFromStats(stats)
+	p.pendingCtxs, p.pendingRewards = nil, nil
+	for _, a := range p.selected {
+		rwd := gains[a.ID()]
+		if p.createdIDs[a.ID()] {
+			rwd -= creationSec[a.ID()]
+		}
+		p.pendingCtxs = append(p.pendingCtxs, p.selectedCtxs[a.ID()])
+		p.pendingRewards = append(p.pendingRewards, rwd)
+	}
+	for id := range p.usage {
+		p.usage[id] *= 0.6
+	}
+	for id := range used {
+		p.usage[id]++
+	}
+}
+
+func (p *ddqnPolicy) Close() {}

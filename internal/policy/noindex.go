@@ -1,0 +1,29 @@
+package policy
+
+import (
+	"dbabandits/internal/engine"
+	"dbabandits/internal/index"
+	"dbabandits/internal/query"
+)
+
+func init() {
+	Register("noindex", func(Env, Params) (Policy, error) {
+		return &noIndex{empty: index.NewConfig()}, nil
+	})
+}
+
+// noIndex is the paper's NoIndex control: it never recommends anything,
+// so every round executes on bare tables.
+type noIndex struct {
+	empty *index.Config
+}
+
+func (p *noIndex) Name() string { return "noindex" }
+
+func (p *noIndex) Recommend(int, []*query.Query) Recommendation {
+	return Recommendation{Config: p.empty}
+}
+
+func (p *noIndex) Observe([]*engine.ExecStats, map[string]float64) {}
+
+func (p *noIndex) Close() {}

@@ -1,0 +1,144 @@
+// Package policy defines the pluggable tuning-policy layer: the Policy
+// interface every tuning strategy implements, the capability view of the
+// simulation environment a policy may consult (Env), and a name-keyed
+// registry through which strategies are constructed.
+//
+// The round loop itself lives in internal/env (Environment.RunPolicy);
+// this package deliberately knows nothing about how rounds are driven.
+// A new baseline therefore needs only three things: a type implementing
+// Policy, a Factory building it from an Env, and a Register call — no
+// harness or driver edits. The seed strategies of the paper's evaluation
+// (no-index, MAB, PDTool, DDQN, DDQN-SC) are registered here as adapters,
+// alongside an online what-if advisor in the style of Schnaitter &
+// Polyzotis's semi-automatic index tuning.
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/engine"
+	"dbabandits/internal/index"
+	"dbabandits/internal/mab"
+	"dbabandits/internal/optimizer"
+	"dbabandits/internal/query"
+)
+
+// Recommendation is a policy's decision for one round: the index
+// configuration the round executes under, plus the modelled time the
+// decision took. The driver diffs Config against the previous round's
+// configuration to price index creations, so a policy that changes
+// nothing simply returns its current configuration again.
+type Recommendation struct {
+	// Config is the full configuration for the round (not a delta). A
+	// nil Config means "keep the previous round's configuration".
+	Config *index.Config
+	// RecommendSec is the modelled recommendation time for the round.
+	RecommendSec float64
+}
+
+// Policy is one tuning strategy, driven round by round. The driver calls
+// Recommend at the top of round r with the previously executed workload
+// (nil in round 1 — policies never see the future), executes the round
+// under the recommended configuration, then calls Observe with the true
+// per-query execution statistics and the creation seconds actually spent
+// per materialised index id. Close releases any resources once the run
+// ends.
+type Policy interface {
+	// Name returns the registry name the policy was constructed under;
+	// run results are tagged with it.
+	Name() string
+	// Recommend returns the configuration for round (1-based).
+	// lastWorkload is the workload executed in round-1, nil at round 1.
+	Recommend(round int, lastWorkload []*query.Query) Recommendation
+	// Observe feeds back the round's true execution: per-query stats and
+	// per-index creation seconds (only ids materialised this round).
+	Observe(stats []*engine.ExecStats, creationSec map[string]float64)
+	// Close releases policy resources at the end of a run.
+	Close()
+}
+
+// Env is the read-only view of the prepared simulation environment a
+// policy factory (and the policy it builds) may consult. It is
+// implemented by *env.Environment; the interface lives here so policies
+// never import the driver.
+type Env interface {
+	// Catalog returns the benchmark schema with statistics.
+	Catalog() *catalog.Schema
+	// DataSizeBytes is the logical data size (context normalisation).
+	DataSizeBytes() int64
+	// MemoryBudgetBytes is the secondary-index budget M.
+	MemoryBudgetBytes() int64
+	// WhatIf returns the simulated optimiser with its what-if interface.
+	WhatIf() *optimizer.Optimizer
+	// RegimeName names the workload regime ("static", "shifting",
+	// "random").
+	RegimeName() string
+	// TotalRounds is the experiment's round count.
+	TotalRounds() int
+	// WorkloadAt returns round r's workload (1-based, deterministic).
+	// Policies must only consult rounds they have legitimately observed;
+	// the warm-started MAB uses round 1 as its hypothetical training set.
+	WorkloadAt(r int) []*query.Query
+	// IndexCreationSec prices materialising one index.
+	IndexCreationSec(ix *index.Index) float64
+}
+
+// Params carries the per-strategy knobs an experiment may tune. Unset
+// fields take each adapter's defaults.
+type Params struct {
+	// MAB tweaks the bandit (ablations). A zero MemoryBudgetBytes is
+	// filled from the environment's budget.
+	MAB mab.TunerOptions
+	// MABWarmStartRounds pre-trains the bandit with what-if estimated
+	// rewards over round 1's workload (Section VII). 0 disables.
+	MABWarmStartRounds int
+	// DDQNSeed seeds the DDQN agent (repetitions use distinct seeds).
+	DDQNSeed int64
+	// PDToolTimeLimitSec caps a single PDTool invocation. 0 = unlimited.
+	PDToolTimeLimitSec float64
+}
+
+// Factory builds a policy against a prepared environment.
+type Factory func(e Env, p Params) (Policy, error)
+
+var registry = map[string]Factory{}
+
+// Register adds a named strategy to the registry. Registering an already
+// registered name panics: silently replacing a seed strategy would
+// invalidate every comparison against it.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("policy: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named policy against the environment.
+func New(name string, e Env, p Params) (Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %v)", name, Names())
+	}
+	return f(e, p)
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registered reports whether name is a known policy.
+func Registered(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
