@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke bench benchsmoke ci
+.PHONY: build test race fmt vet smoke bench benchsweep benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -30,13 +30,31 @@ vet:
 smoke:
 	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -progress
 
-# Parallel-runner speedup benchmark (sequential vs all-CPU sweep).
+# Hot-path benchmark capture: runs the recommend-loop benchmarks with
+# -benchmem and writes the numbers to BENCH_<short-sha>.json via
+# cmd/benchjson, so the perf trajectory is tracked in-repo. Compare
+# against BENCH_baseline.json (captured at the pre-sparse-fast-path
+# commit) — see the README's Performance section.
+BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkScoresTPCDS$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$'
+
 bench:
+	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem ./... > .bench.out
+	$(GO) run ./cmd/benchjson < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
+	@rm -f .bench.out
+	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
+
+# Parallel-runner speedup benchmark (sequential vs all-CPU sweep).
+benchsweep:
 	$(GO) test -run '^$$' -bench BenchmarkRunCellsStaticSweep -benchtime 1x .
 
 # Compile-and-run smoke over every benchmark in the repo (one iteration
-# each), so benchmarks can't rot between perf-focused PRs.
+# each), so benchmarks can't rot between perf-focused PRs — plus a
+# benchjson round-trip over the mab hot-path benches so the capture
+# tooling can't rot either.
 benchsmoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench 'BenchmarkScoresTPCDS$$|BenchmarkScoresSparse$$' -benchtime 1x ./internal/mab/ > .benchsmoke.out
+	$(GO) run ./cmd/benchjson < .benchsmoke.out > /dev/null
+	@rm -f .benchsmoke.out
 
 ci: fmt vet build test race smoke benchsmoke

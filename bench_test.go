@@ -436,13 +436,13 @@ func BenchmarkC2UCBScores(b *testing.B) {
 	dim := 128
 	bandit := mab.NewC2UCB(dim, 0.25, nil)
 	bandit.BeginRound()
-	var ctxs []linalg.Vector
+	var ctxs []linalg.SparseVector
 	for k := 0; k < 200; k++ {
 		x := linalg.NewVector(dim)
 		for i := range x {
 			x[i] = rng.Float64()
 		}
-		ctxs = append(ctxs, x)
+		ctxs = append(ctxs, linalg.SparseFromDense(x))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -114,11 +114,9 @@ func New(opts Options) (*Environment, error) {
 	case Static:
 		e.Seq = workload.NewStatic(bench, db, opts.Seed, opts.Rounds)
 	case Shifting:
-		rpg := 20
-		if opts.Rounds > 0 {
-			rpg = opts.Rounds / 4
-		}
-		e.Seq = workload.NewShifting(bench, db, opts.Seed, 4, rpg)
+		// Ragged totals are supported: rounds are floor-partitioned over
+		// the four groups rather than truncated to a multiple of four.
+		e.Seq = workload.NewShiftingTotal(bench, db, opts.Seed, 4, opts.Rounds)
 	case Random:
 		e.Seq = workload.NewRandom(bench, db, opts.Seed, opts.Rounds, 0)
 	default:

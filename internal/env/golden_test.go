@@ -22,6 +22,12 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the RunResult gold
 // (invocation schedule, trailing-window training). Any numeric or
 // accounting drift in the refactored round loop shows up as a byte
 // diff here.
+//
+// Since the C2UCB recommend loop went sparse (sparse contexts, sparse
+// ridge kernels, memoised arm generation), this test doubles as the
+// regression gate that the sparse fast path is an optimisation, not a
+// behaviour change: the goldens predate it and must stay byte-identical
+// through it.
 func TestRunPolicyMatchesPreRefactorGoldens(t *testing.T) {
 	cases := []struct {
 		regime Regime

@@ -11,8 +11,19 @@ import (
 // b_t = sum r*x. The coefficient estimate is theta_t = V_t^{-1} b_t.
 //
 // Sherman–Morrison accumulates floating-point error over many rank-1
-// updates, so the inverse is re-baselined from a fresh Cholesky
-// factorisation every RebaseEvery updates.
+// updates, so the inverse is periodically re-baselined from a fresh
+// Cholesky factorisation. Two schedules compose:
+//
+//   - a rank-1-aware adaptive schedule: each update contributes
+//     q/(1+q) (q = x'V^{-1}x) to an accumulated drift score — the relative
+//     weight of that update's correction to the inverse, i.e. how much of
+//     VInv became one more generation of rank-1 arithmetic — and the state
+//     rebases once the score crosses DriftThreshold. Heavy early updates
+//     (large q against a weak prior) spend the budget quickly, the
+//     converged tail (q → 0) barely at all, matching where
+//     Sherman–Morrison conditioning is actually lost;
+//   - the fixed every-RebaseEvery cadence as a fallback bound, so drift
+//     can never accumulate unchecked even if the threshold is set high.
 type RidgeState struct {
 	Dim    int
 	V      *Matrix // scatter matrix, always exact (up to fp addition)
@@ -21,10 +32,18 @@ type RidgeState struct {
 	Lambda float64
 
 	updates     int
-	RebaseEvery int // 0 means the default (256)
+	drift       float64 // accumulated q/(1+q) since the last rebase
+	RebaseEvery int     // fixed fallback cadence; 0 means the default (256)
+	// DriftThreshold triggers an adaptive rebase once the accumulated
+	// drift score reaches it. 0 means the default (48); negative disables
+	// the adaptive schedule, leaving only the fixed cadence.
+	DriftThreshold float64
 }
 
-const defaultRebaseEvery = 256
+const (
+	defaultRebaseEvery    = 256
+	defaultDriftThreshold = 48
+)
 
 // NewRidgeState initialises V = lambda*I, VInv = I/lambda, b = 0.
 func NewRidgeState(dim int, lambda float64) *RidgeState {
@@ -50,7 +69,16 @@ func (rs *RidgeState) Theta() Vector { return rs.VInv.MulVec(rs.B) }
 // ConfidenceWidth returns sqrt(x' V^{-1} x), the exploration-boost term of
 // the UCB score for context x.
 func (rs *RidgeState) ConfidenceWidth(x Vector) float64 {
-	q := rs.VInv.QuadraticForm(x)
+	return widthFromQuad(rs.VInv.QuadraticForm(x))
+}
+
+// ConfidenceWidthSparse is ConfidenceWidth through the O(nnz²) sparse
+// quadratic form; bit-identical to the dense path.
+func (rs *RidgeState) ConfidenceWidthSparse(x SparseVector) float64 {
+	return widthFromQuad(rs.VInv.QuadraticFormSparse(x))
+}
+
+func widthFromQuad(q float64) float64 {
 	if q < 0 {
 		// Numerical noise can push a tiny positive quadratic form below
 		// zero; clamp rather than produce NaN from sqrt.
@@ -73,13 +101,42 @@ func (rs *RidgeState) Observe(x Vector, reward float64) {
 	u := rs.VInv.MulVec(x) // V^{-1} x (VInv symmetric, so also x' V^{-1})
 	denom := 1 + x.Dot(u)
 	rs.VInv.AddOuterScaled(-1/denom, u)
+	rs.afterRank1(denom)
+}
 
+// ObserveSparse is Observe through the sparse kernels: the V and b
+// accumulations touch only nnz²/nnz entries and the Sherman–Morrison
+// vector u = V^{-1}x costs O(d·nnz) instead of O(d²). The VInv outer
+// update stays dense (u is dense). Bit-identical to Observe on the same
+// logical vector.
+func (rs *RidgeState) ObserveSparse(x SparseVector, reward float64) {
+	if x.Dim != rs.Dim {
+		panic(fmt.Sprintf("linalg: ridge observe dimension %d, want %d", x.Dim, rs.Dim))
+	}
+	rs.V.AddOuterScaledSparse(1, x)
+	rs.B.AddScaledSparse(reward, x)
+
+	u := rs.VInv.MulVecSparse(x)
+	denom := 1 + u.DotSparse(x)
+	rs.VInv.AddOuterScaled(-1/denom, u)
+	rs.afterRank1(denom)
+}
+
+// afterRank1 advances the update counters and runs whichever rebase
+// schedule fires first. denom is the Sherman–Morrison denominator
+// 1 + x'V^{-1}x of the update just applied.
+func (rs *RidgeState) afterRank1(denom float64) {
 	rs.updates++
+	rs.drift += 1 - 1/denom // == q/(1+q)
 	every := rs.RebaseEvery
 	if every == 0 {
 		every = defaultRebaseEvery
 	}
-	if rs.updates%every == 0 {
+	threshold := rs.DriftThreshold
+	if threshold == 0 {
+		threshold = defaultDriftThreshold
+	}
+	if rs.updates%every == 0 || (threshold > 0 && rs.drift >= threshold) {
 		rs.rebase()
 	}
 }
@@ -111,8 +168,10 @@ func (rs *RidgeState) Forget(gamma float64) {
 	rs.rebase()
 }
 
-// rebase recomputes VInv from V exactly, discarding Sherman–Morrison drift.
+// rebase recomputes VInv from V exactly, discarding Sherman–Morrison
+// drift, and zeroes the drift score.
 func (rs *RidgeState) rebase() {
+	rs.drift = 0
 	rs.V.SymmetrizeInPlace()
 	inv, err := rs.V.Inverse()
 	if err != nil {
@@ -129,3 +188,7 @@ func (rs *RidgeState) rebase() {
 
 // Updates reports how many observations have been folded in.
 func (rs *RidgeState) Updates() int { return rs.updates }
+
+// Drift reports the accumulated drift score since the last rebase
+// (diagnostics and tests).
+func (rs *RidgeState) Drift() float64 { return rs.drift }

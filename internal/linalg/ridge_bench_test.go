@@ -47,6 +47,32 @@ func BenchmarkRidgeObserveScore(b *testing.B) {
 	}
 }
 
+// BenchmarkRidgeObserveScoreSparse is BenchmarkRidgeObserveScore through
+// the sparse kernels on the same logical vectors — the bandit's native
+// path since contexts went sparse. The ratio against the dense benchmark
+// is the kernel-level win at this dimension/sparsity.
+func BenchmarkRidgeObserveScoreSparse(b *testing.B) {
+	const dim = 64
+	const arms = 48
+	contexts := SparseAll(benchContexts(dim, arms, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := NewRidgeState(dim, 0.25)
+		for r := 0; r < 8; r++ {
+			for _, x := range contexts[:8] {
+				rs.ObserveSparse(x, 1.0)
+			}
+			theta := rs.Theta()
+			var sink float64
+			for _, x := range contexts {
+				sink += theta.DotSparse(x) + rs.ConfidenceWidthSparse(x)
+			}
+			benchSink = sink
+		}
+	}
+}
+
 // BenchmarkRidgeForget measures shift-scaled forgetting (scatter-matrix
 // discount plus the Cholesky rebase), which runs on every detected
 // workload shift.

@@ -1,0 +1,248 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSparse draws a context-shaped sparse vector: a few entries at
+// random ascending indices. signed=false mimics the bandit's contexts
+// (non-negative components); signed=true stresses the kernels harder.
+func randSparse(rng *rand.Rand, dim int, signed bool) SparseVector {
+	nnz := 1 + rng.Intn(9)
+	if nnz > dim {
+		nnz = dim
+	}
+	perm := rng.Perm(dim)[:nnz]
+	s := SparseVector{Dim: dim, Idx: perm, Val: make([]float64, nnz)}
+	s.Sort()
+	for k := range s.Val {
+		v := rng.Float64() + 0.01
+		if signed && rng.Intn(2) == 0 {
+			v = -v
+		}
+		s.Val[k] = v
+	}
+	return s
+}
+
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestSparseKernelsBitIdentical is the core equivalence property: every
+// sparse kernel must produce bit-identical results to its dense
+// counterpart on the same logical vector — sparsity is an optimisation,
+// not a behaviour change.
+func TestSparseKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		dim := 5 + rng.Intn(60)
+		signed := trial%2 == 1
+		s := randSparse(rng, dim, signed)
+		d := s.Dense()
+		m := randMatrix(rng, dim)
+
+		w := make(Vector, dim)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		if got, want := w.DotSparse(s), w.Dot(d); got != want {
+			t.Fatalf("trial %d: DotSparse %v != Dot %v", trial, got, want)
+		}
+		if got, want := m.QuadraticFormSparse(s), m.QuadraticForm(d); got != want {
+			t.Fatalf("trial %d: QuadraticFormSparse %v != QuadraticForm %v", trial, got, want)
+		}
+		mv, mvd := m.MulVecSparse(s), m.MulVec(d)
+		for i := range mv {
+			if mv[i] != mvd[i] {
+				t.Fatalf("trial %d: MulVecSparse[%d] %v != %v", trial, i, mv[i], mvd[i])
+			}
+		}
+
+		alpha := rng.NormFloat64()
+		ms, md := m.Clone(), m.Clone()
+		ms.AddOuterScaledSparse(alpha, s)
+		md.AddOuterScaled(alpha, d)
+		for i := range ms.Data {
+			if ms.Data[i] != md.Data[i] {
+				t.Fatalf("trial %d: AddOuterScaledSparse data[%d] %v != %v", trial, i, ms.Data[i], md.Data[i])
+			}
+		}
+
+		vs, vd := w.Clone(), w.Clone()
+		vs.AddScaledSparse(alpha, s)
+		vd.AddScaled(alpha, d)
+		for i := range vs {
+			if vs[i] != vd[i] {
+				t.Fatalf("trial %d: AddScaledSparse[%d] %v != %v", trial, i, vs[i], vd[i])
+			}
+		}
+	}
+}
+
+// TestRidgeSparseObserveBitIdentical drives two ridge states through the
+// same observation stream — one densely, one sparsely — across rebases
+// and a mid-stream Forget, asserting the full state (V, VInv, B) and the
+// downstream scores stay bit-identical.
+func TestRidgeSparseObserveBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dim = 24
+	dense := NewRidgeState(dim, 0.25)
+	sparse := NewRidgeState(dim, 0.25)
+	check := func(step int) {
+		t.Helper()
+		for i := range dense.V.Data {
+			if dense.V.Data[i] != sparse.V.Data[i] {
+				t.Fatalf("step %d: V diverged at %d: %v vs %v", step, i, dense.V.Data[i], sparse.V.Data[i])
+			}
+			if dense.VInv.Data[i] != sparse.VInv.Data[i] {
+				t.Fatalf("step %d: VInv diverged at %d: %v vs %v", step, i, dense.VInv.Data[i], sparse.VInv.Data[i])
+			}
+		}
+		for i := range dense.B {
+			if dense.B[i] != sparse.B[i] {
+				t.Fatalf("step %d: B diverged at %d: %v vs %v", step, i, dense.B[i], sparse.B[i])
+			}
+		}
+	}
+	for step := 0; step < 600; step++ {
+		x := randSparse(rng, dim, false)
+		reward := rng.NormFloat64() * 10
+		dense.Observe(x.Dense(), reward)
+		sparse.ObserveSparse(x, reward)
+		check(step)
+		if step == 250 {
+			dense.Forget(0.5)
+			sparse.Forget(0.5)
+			check(step)
+		}
+		probe := randSparse(rng, dim, false)
+		wd := dense.ConfidenceWidth(probe.Dense())
+		ws := sparse.ConfidenceWidthSparse(probe)
+		if wd != ws {
+			t.Fatalf("step %d: widths diverged: %v vs %v", step, wd, ws)
+		}
+	}
+	if dense.Updates() != sparse.Updates() {
+		t.Fatalf("update counts diverged: %d vs %d", dense.Updates(), sparse.Updates())
+	}
+}
+
+// TestAdaptiveRebaseFiresOnDrift: heavy rank-1 updates against a weak
+// prior accumulate drift quickly, so a low threshold must trigger an
+// exact re-baseline long before the fixed cadence, leaving VInv equal to
+// a fresh inverse of V.
+func TestAdaptiveRebaseFiresOnDrift(t *testing.T) {
+	rs := NewRidgeState(8, 0.25)
+	rs.DriftThreshold = 1.5
+	rng := rand.New(rand.NewSource(7))
+	fired := false
+	for i := 0; i < 50; i++ {
+		rs.Observe(randomVec(rng, 8), 1)
+		if rs.Drift() == 0 && rs.Updates() > 0 && rs.Updates()%256 != 0 {
+			fired = true
+			inv, err := rs.V.Clone().Inverse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := rs.VInv.MaxAbsDiff(inv); diff > 1e-9 {
+				t.Fatalf("post-rebase VInv not exact: diff %v", diff)
+			}
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("adaptive rebase never fired despite low threshold")
+	}
+}
+
+// TestAdaptiveRebaseDisabled: a negative threshold must leave only the
+// fixed cadence — drift accumulates unchecked until update 256.
+func TestAdaptiveRebaseDisabled(t *testing.T) {
+	rs := NewRidgeState(4, 0.25)
+	rs.DriftThreshold = -1
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 255; i++ {
+		rs.Observe(randomVec(rng, 4), 1)
+		if rs.Drift() == 0 {
+			t.Fatalf("rebase fired at update %d with adaptive schedule disabled", rs.Updates())
+		}
+	}
+	rs.Observe(randomVec(rng, 4), 1)
+	if rs.Drift() != 0 {
+		t.Fatal("fixed cadence did not fire at update 256")
+	}
+}
+
+// TestDriftIncrementIsDenominatorShare pins the drift bookkeeping:
+// one update contributes q/(1+q), the relative weight of the
+// Sherman–Morrison correction.
+func TestDriftIncrementIsDenominatorShare(t *testing.T) {
+	rs := NewRidgeState(3, 0.5)
+	x := Vector{1, 2, 0}
+	q := rs.VInv.QuadraticForm(x)
+	rs.Observe(x, 1)
+	want := q / (1 + q)
+	if math.Abs(rs.Drift()-want) > 1e-12 {
+		t.Fatalf("drift = %v, want q/(1+q) = %v", rs.Drift(), want)
+	}
+}
+
+func TestSparseVectorUtils(t *testing.T) {
+	v := Vector{0, 3, 0, 0, -2, 0, 1}
+	s := SparseFromDense(v)
+	if s.NNZ() != 3 || s.Dim != 7 {
+		t.Fatalf("nnz=%d dim=%d", s.NNZ(), s.Dim)
+	}
+	for i, want := range v {
+		if got := s.At(i); got != want {
+			t.Fatalf("At(%d) = %v, want %v", i, got, want)
+		}
+	}
+	d := s.Dense()
+	for i := range v {
+		if d[i] != v[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, d[i], v[i])
+		}
+	}
+	// Sort restores ascending order from arbitrary insertion order.
+	u := SparseVector{Dim: 10, Idx: []int{7, 2, 9, 0}, Val: []float64{7, 2, 9, 0.5}}
+	u.Sort()
+	for k := 1; k < len(u.Idx); k++ {
+		if u.Idx[k-1] >= u.Idx[k] {
+			t.Fatalf("Sort left indices unsorted: %v", u.Idx)
+		}
+	}
+	for k, i := range u.Idx {
+		want := map[int]float64{7: 7, 2: 2, 9: 9, 0: 0.5}[i]
+		if u.Val[k] != want {
+			t.Fatalf("Sort lost pairing: idx %d -> %v", i, u.Val[k])
+		}
+	}
+}
+
+func TestSparseKernelDimChecks(t *testing.T) {
+	s := SparseVector{Dim: 3, Idx: []int{0}, Val: []float64{1}}
+	m := NewMatrix(2, 2)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("DotSparse", func() { NewVector(2).DotSparse(s) })
+	mustPanic("AddScaledSparse", func() { NewVector(2).AddScaledSparse(1, s) })
+	mustPanic("QuadraticFormSparse", func() { m.QuadraticFormSparse(s) })
+	mustPanic("MulVecSparse", func() { m.MulVecSparse(s) })
+	mustPanic("AddOuterScaledSparse", func() { m.AddOuterScaledSparse(1, s) })
+	mustPanic("ObserveSparse", func() { NewRidgeState(2, 1).ObserveSparse(s, 0) })
+}

@@ -12,6 +12,8 @@ package mab
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
 	"dbabandits/internal/catalog"
 	"dbabandits/internal/index"
@@ -57,10 +59,42 @@ type ArmGenOptions struct {
 	DisablePayload bool
 }
 
+// armProto is one memoised candidate of a (query shape, table) pair: the
+// index object (with its id string already built), its estimated size,
+// and whether it covers the motivating query shape. Everything in it is a
+// pure function of the query's structure — tables, predicate columns and
+// operators, joins, payload. query.Signature() canonises all of those
+// except the join predicates (shapeKey appends them), so protos are
+// shared across rounds and across query instances.
+type armProto struct {
+	ix     *index.Index
+	size   int64
+	covers bool
+}
+
+// maxCachedArmSets bounds the per-round result memo (the proto memo is
+// naturally bounded by templates × tables). Dynamic random workloads see
+// one distinct QoI combination per round at worst; the cap only matters
+// for pathological long-running instances, which simply restart the memo.
+const maxCachedArmSets = 256
+
 // ArmGenerator turns queries of interest into candidate arms.
+//
+// Generation is memoised at two levels, exploiting that query instances
+// of one template differ only in constants: per (query shape, table) the
+// full key-order enumeration (permutations, capped orderings, covering
+// variants, sizes, ids) is computed once ever, and per exact QoI sequence
+// the final deduplicated sorted arm set is reused across rounds — the QoI
+// window replays the same templates round after round, which previously
+// re-ran permutations, rebuilt id strings and re-sorted identical arm
+// sets every round. A generator is not safe for concurrent use (each
+// tuner instance owns one).
 type ArmGenerator struct {
 	schema *catalog.Schema
 	opts   ArmGenOptions
+
+	protos  map[string][]armProto // query signature + table -> protos
+	results map[string][]*Arm     // ordered (template id, signature) list -> arms
 }
 
 // NewArmGenerator returns a generator with defaulted options.
@@ -71,22 +105,62 @@ func NewArmGenerator(schema *catalog.Schema, opts ArmGenOptions) *ArmGenerator {
 	if opts.MaxArmsPerTableQuery <= 0 {
 		opts.MaxArmsPerTableQuery = 24
 	}
-	return &ArmGenerator{schema: schema, opts: opts}
+	return &ArmGenerator{
+		schema:  schema,
+		opts:    opts,
+		protos:  map[string][]armProto{},
+		results: map[string][]*Arm{},
+	}
 }
 
 // Generate produces the candidate arms for a set of queries of interest,
 // de-duplicated by index id, in deterministic order. Workload-based
 // generation keeps the action space proportional to the observed
 // workload's predicate columns rather than all column combinations.
+//
+// Callers must treat the returned arms as immutable: the same *Arm
+// values are handed out again when a later round replays the same QoI
+// set.
 func (g *ArmGenerator) Generate(qois []*query.Query) []*Arm {
+	sigs := make([]string, len(qois))
+	var keyB strings.Builder
+	for i, q := range qois {
+		sigs[i] = shapeKey(q)
+		keyB.WriteString(strconv.Itoa(q.TemplateID))
+		keyB.WriteByte(0)
+		keyB.WriteString(sigs[i])
+		keyB.WriteByte(1)
+	}
+	key := keyB.String()
+	if arms, ok := g.results[key]; ok {
+		return append([]*Arm(nil), arms...)
+	}
+
 	byID := map[string]*Arm{}
-	for _, q := range qois {
+	for qi, q := range qois {
 		for _, tname := range q.Tables {
 			meta, ok := g.schema.Table(tname)
 			if !ok {
 				continue
 			}
-			g.generateForTable(q, meta, byID)
+			pkey := sigs[qi] + "\x00" + tname
+			protos, ok := g.protos[pkey]
+			if !ok {
+				protos = g.protosForTable(q, meta)
+				g.protos[pkey] = protos
+			}
+			for _, p := range protos {
+				id := p.ix.ID()
+				arm, exists := byID[id]
+				if !exists {
+					arm = &Arm{Index: p.ix, Table: tname, SizeBytes: p.size}
+					byID[id] = arm
+				}
+				arm.Queries = appendUnique(arm.Queries, q.TemplateID)
+				if p.covers {
+					arm.CoveringFor = appendUnique(arm.CoveringFor, q.TemplateID)
+				}
+			}
 		}
 	}
 	arms := make([]*Arm, 0, len(byID))
@@ -94,12 +168,36 @@ func (g *ArmGenerator) Generate(qois []*query.Query) []*Arm {
 		arms = append(arms, a)
 	}
 	sort.Slice(arms, func(i, j int) bool { return arms[i].ID() < arms[j].ID() })
-	return arms
+
+	if len(g.results) >= maxCachedArmSets {
+		g.results = map[string][]*Arm{}
+	}
+	g.results[key] = arms
+	return append([]*Arm(nil), arms...)
 }
 
-func (g *ArmGenerator) generateForTable(q *query.Query, meta *catalog.Table, byID map[string]*Arm) {
-	// Predicate columns include join columns (the paper: "combinations
-	// and permutations of query predicates (including join predicates)").
+// shapeKey canonises everything arm generation depends on: the query's
+// Signature() (tables, predicate columns and operators, payload) plus
+// the join predicates, which Signature omits but JoinColumnsOn feeds
+// into the candidate key columns.
+func shapeKey(q *query.Query) string {
+	sig := q.Signature()
+	if len(q.Joins) == 0 {
+		return sig
+	}
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		joins[i] = j.LeftTable + "." + j.LeftColumn + "=" + j.RightTable + "." + j.RightColumn
+	}
+	sort.Strings(joins)
+	return sig + "\x02" + strings.Join(joins, ",")
+}
+
+// protosForTable enumerates the candidate indexes one query shape
+// motivates on one table. Predicate columns include join columns (the
+// paper: "combinations and permutations of query predicates (including
+// join predicates)").
+func (g *ArmGenerator) protosForTable(q *query.Query, meta *catalog.Table) []armProto {
 	predCols := q.PredicateColumnsOn(meta.Name)
 	joinCols := q.JoinColumnsOn(meta.Name)
 	colSet := map[string]bool{}
@@ -120,7 +218,7 @@ func (g *ArmGenerator) generateForTable(q *query.Query, meta *catalog.Table, byI
 	}
 	sort.Strings(cols)
 	if len(cols) == 0 {
-		return
+		return nil
 	}
 
 	var keys [][]string
@@ -134,27 +232,23 @@ func (g *ArmGenerator) generateForTable(q *query.Query, meta *catalog.Table, byI
 	}
 
 	payload := q.PayloadColumnsOn(meta.Name)
+	protos := make([]armProto, 0, len(keys)+1)
+	addProto := func(key, include []string) {
+		ix := index.New(meta.Name, key, include)
+		protos = append(protos, armProto{
+			ix:     ix,
+			size:   ix.SizeBytes(meta),
+			covers: ix.CoversQueryOn(q, meta.Name),
+		})
+	}
 	for _, key := range keys {
-		g.addArm(q, meta, key, nil, byID)
+		addProto(key, nil)
 		// Covering variant: full-predicate-set keys with payload includes.
 		if !g.opts.DisablePayload && len(payload) > 0 && len(key) == len(cols) {
-			g.addArm(q, meta, key, payload, byID)
+			addProto(key, payload)
 		}
 	}
-}
-
-func (g *ArmGenerator) addArm(q *query.Query, meta *catalog.Table, key, include []string, byID map[string]*Arm) {
-	ix := index.New(meta.Name, key, include)
-	id := ix.ID()
-	arm, exists := byID[id]
-	if !exists {
-		arm = &Arm{Index: ix, Table: meta.Name, SizeBytes: ix.SizeBytes(meta)}
-		byID[id] = arm
-	}
-	arm.Queries = appendUnique(arm.Queries, q.TemplateID)
-	if ix.CoversQueryOn(q, meta.Name) {
-		arm.CoveringFor = appendUnique(arm.CoveringFor, q.TemplateID)
-	}
+	return protos
 }
 
 // permutationsOfSubsets returns every permutation of every non-empty

@@ -147,6 +147,122 @@ func TestGenerateDeterministicOrder(t *testing.T) {
 	}
 }
 
+func TestGenerateMemoisedAcrossInstances(t *testing.T) {
+	// Two instances of one template differ only in constants; the
+	// memoised generator must produce identical arm sets for both — and
+	// identical to a cold generator's output.
+	schema, _ := testdb.Build(1)
+	warm := NewArmGenerator(schema, ArmGenOptions{})
+	q1 := figure1Query()
+	first := warm.Generate([]*query.Query{q1})
+
+	q2 := figure1Query()
+	q2.Filters[0].Lo, q2.Filters[0].Hi = 99, 99 // fresh constants, same shape
+	second := warm.Generate([]*query.Query{q2})
+
+	cold := NewArmGenerator(schema, ArmGenOptions{}).Generate([]*query.Query{q2})
+	for _, other := range [][]*Arm{second, cold} {
+		if len(first) != len(other) {
+			t.Fatalf("arm counts differ: %d vs %d", len(first), len(other))
+		}
+		for i := range first {
+			if first[i].ID() != other[i].ID() || first[i].SizeBytes != other[i].SizeBytes {
+				t.Fatalf("arm %d differs: %s vs %s", i, first[i].ID(), other[i].ID())
+			}
+			if len(first[i].Queries) != len(other[i].Queries) {
+				t.Fatalf("arm %d queries differ: %v vs %v", i, first[i].Queries, other[i].Queries)
+			}
+		}
+	}
+}
+
+func TestGenerateMemoReturnsFreshSlice(t *testing.T) {
+	// Callers may reorder the returned slice (the oracle sorts
+	// candidates); the memo must hand out a fresh slice each round so a
+	// caller's reordering cannot corrupt later rounds.
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	qs := []*query.Query{figure1Query()}
+	a := g.Generate(qs)
+	if len(a) < 2 {
+		t.Fatal("fixture too small")
+	}
+	a[0], a[1] = a[1], a[0]
+	b := g.Generate(qs)
+	for i := 1; i < len(b); i++ {
+		if b[i-1].ID() >= b[i].ID() {
+			t.Fatalf("cached result order corrupted by caller mutation: %v >= %v", b[i-1].ID(), b[i].ID())
+		}
+	}
+}
+
+func TestGenerateMemoKeyedByQoISet(t *testing.T) {
+	// Growing and shrinking the QoI set must not leak motivating-template
+	// lists across cache entries.
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	q1 := figure1Query()
+	q2 := figure1Query()
+	q2.TemplateID = 7
+
+	solo := g.Generate([]*query.Query{q1})
+	both := g.Generate([]*query.Query{q1, q2})
+	soloAgain := g.Generate([]*query.Query{q1})
+
+	for _, a := range solo {
+		if len(a.Queries) != 1 || a.Queries[0] != 1 {
+			t.Fatalf("solo arm %s motivated by %v", a.ID(), a.Queries)
+		}
+	}
+	for _, a := range both {
+		if len(a.Queries) != 2 {
+			t.Fatalf("dual arm %s motivated by %v", a.ID(), a.Queries)
+		}
+	}
+	for i, a := range soloAgain {
+		if len(a.Queries) != 1 {
+			t.Fatalf("cached solo arm %s motivated by %v", a.ID(), a.Queries)
+		}
+		if a.ID() != solo[i].ID() {
+			t.Fatalf("cache replay changed order at %d", i)
+		}
+	}
+}
+
+func TestGenerateMemoDistinguishesJoins(t *testing.T) {
+	// query.Signature() omits join predicates, but arm generation feeds
+	// join columns into the candidate keys — the memo must not serve a
+	// join-free query's protos to a signature-colliding joined query.
+	schema, _ := testdb.Build(1)
+	g := NewArmGenerator(schema, ArmGenOptions{})
+	plain := &query.Query{
+		TemplateID: 4,
+		Tables:     []string{"orders", "customer"},
+		Filters: []query.Predicate{
+			{Table: "customer", Column: "c_nation", Op: query.OpEq, Lo: 1, Hi: 1},
+		},
+	}
+	joined := &query.Query{
+		TemplateID: 4,
+		Tables:     []string{"orders", "customer"},
+		Filters:    plain.Filters,
+		Joins: []query.Join{
+			{LeftTable: "orders", LeftColumn: "o_custkey", RightTable: "customer", RightColumn: "c_id"},
+		},
+	}
+	if plain.Signature() != joined.Signature() {
+		t.Fatal("fixture invalid: signatures expected to collide")
+	}
+	g.Generate([]*query.Query{plain}) // warm the memo with the join-free shape
+	arms := g.Generate([]*query.Query{joined})
+	for _, a := range arms {
+		if a.Table == "orders" && a.Index.Key[0] == "o_custkey" {
+			return
+		}
+	}
+	t.Fatal("memo served join-free protos: no arm on the join column")
+}
+
 func TestPermutationsOfSubsets(t *testing.T) {
 	got := permutationsOfSubsets([]string{"a", "b"})
 	// a, a b, b, b a -> 4 entries

@@ -12,6 +12,11 @@ import (
 // lives in theta, so newly generated arms are scored without ever having
 // been played — the property that makes workload-driven dynamic arms
 // viable (Section III).
+//
+// Contexts are sparse: an index's context has at most one non-zero per
+// key column plus three derived components, so scoring and updating route
+// through the O(nnz²) sparse ridge kernels (bit-identical to the dense
+// path — see internal/linalg).
 type C2UCB struct {
 	state *linalg.RidgeState
 	// Alpha returns the exploration-boost factor for round t (1-based).
@@ -44,6 +49,15 @@ func NewC2UCB(dim int, lambda float64, alpha func(int) float64) *C2UCB {
 	}
 }
 
+// SetRebaseSchedule overrides the ridge state's inverse-maintenance
+// schedule: every is the fixed fallback cadence (0 keeps the default),
+// driftThreshold the adaptive rank-1 drift trigger (0 keeps the default,
+// negative disables the adaptive schedule). See linalg.RidgeState.
+func (b *C2UCB) SetRebaseSchedule(every int, driftThreshold float64) {
+	b.state.RebaseEvery = every
+	b.state.DriftThreshold = driftThreshold
+}
+
 // BeginRound advances the round counter (Algorithm 1, line 3).
 func (b *C2UCB) BeginRound() { b.round++ }
 
@@ -53,23 +67,23 @@ func (b *C2UCB) Round() int { return b.round }
 // Scores computes the UCB score for every context (Algorithm 1, line 8):
 //
 //	r_hat(i) = theta' x(i) + alpha_t * sqrt(x(i)' V^{-1} x(i))
-func (b *C2UCB) Scores(contexts []linalg.Vector) []float64 {
+func (b *C2UCB) Scores(contexts []linalg.SparseVector) []float64 {
 	theta := b.state.Theta()
 	alpha := b.Alpha(b.round) * b.rewardScale
 	out := make([]float64, len(contexts))
 	for i, x := range contexts {
-		out[i] = theta.Dot(x) + alpha*b.state.ConfidenceWidth(x)
+		out[i] = theta.DotSparse(x) + alpha*b.state.ConfidenceWidthSparse(x)
 	}
 	return out
 }
 
 // ExpectedScores returns the exploitation-only point estimates theta'x,
 // used by tests and diagnostics.
-func (b *C2UCB) ExpectedScores(contexts []linalg.Vector) []float64 {
+func (b *C2UCB) ExpectedScores(contexts []linalg.SparseVector) []float64 {
 	theta := b.state.Theta()
 	out := make([]float64, len(contexts))
 	for i, x := range contexts {
-		out[i] = theta.Dot(x)
+		out[i] = theta.DotSparse(x)
 	}
 	return out
 }
@@ -77,10 +91,10 @@ func (b *C2UCB) ExpectedScores(contexts []linalg.Vector) []float64 {
 // Update folds in the semi-bandit feedback for the played arms
 // (Algorithm 1, lines 11-13): one (context, reward) pair per arm in the
 // super arm.
-func (b *C2UCB) Update(contexts []linalg.Vector, rewards []float64) {
+func (b *C2UCB) Update(contexts []linalg.SparseVector, rewards []float64) {
 	for i, x := range contexts {
 		r := rewards[i]
-		b.state.Observe(x, r)
+		b.state.ObserveSparse(x, r)
 		if a := math.Abs(r); a > b.rewardScale {
 			// Grow quickly, decay slowly: scale tracks the largest
 			// observed reward magnitude with a light decay so one early

@@ -16,14 +16,14 @@ func TestC2UCBLearnsLinearScores(t *testing.T) {
 	b := NewC2UCB(dim, 0.25, nil)
 	for round := 0; round < 200; round++ {
 		b.BeginRound()
-		var ctxs []linalg.Vector
+		var ctxs []linalg.SparseVector
 		var rewards []float64
 		for k := 0; k < 3; k++ {
 			x := linalg.NewVector(dim)
 			for i := range x {
 				x[i] = rng.Float64()
 			}
-			ctxs = append(ctxs, x)
+			ctxs = append(ctxs, linalg.SparseFromDense(x))
 			rewards = append(rewards, theta.Dot(x)+rng.NormFloat64()*0.05)
 		}
 		b.Update(ctxs, rewards)
@@ -37,9 +37,9 @@ func TestC2UCBLearnsLinearScores(t *testing.T) {
 func TestC2UCBScoresIncludeExplorationBoost(t *testing.T) {
 	b := NewC2UCB(3, 1, nil)
 	b.BeginRound()
-	x := linalg.Vector{1, 0, 0}
-	ucb := b.Scores([]linalg.Vector{x})[0]
-	point := b.ExpectedScores([]linalg.Vector{x})[0]
+	x := linalg.SparseFromDense(linalg.Vector{1, 0, 0})
+	ucb := b.Scores([]linalg.SparseVector{x})[0]
+	point := b.ExpectedScores([]linalg.SparseVector{x})[0]
 	if ucb <= point {
 		t.Fatalf("UCB %v should exceed point estimate %v for unexplored arm", ucb, point)
 	}
@@ -47,13 +47,13 @@ func TestC2UCBScoresIncludeExplorationBoost(t *testing.T) {
 
 func TestC2UCBBoostShrinksWithObservations(t *testing.T) {
 	b := NewC2UCB(3, 1, nil)
-	x := linalg.Vector{1, 0.5, 0}
+	x := linalg.SparseFromDense(linalg.Vector{1, 0.5, 0})
 	b.BeginRound()
-	before := b.Scores([]linalg.Vector{x})[0] - b.ExpectedScores([]linalg.Vector{x})[0]
+	before := b.Scores([]linalg.SparseVector{x})[0] - b.ExpectedScores([]linalg.SparseVector{x})[0]
 	for i := 0; i < 30; i++ {
-		b.Update([]linalg.Vector{x}, []float64{0})
+		b.Update([]linalg.SparseVector{x}, []float64{0})
 	}
-	after := b.Scores([]linalg.Vector{x})[0] - b.ExpectedScores([]linalg.Vector{x})[0]
+	after := b.Scores([]linalg.SparseVector{x})[0] - b.ExpectedScores([]linalg.SparseVector{x})[0]
 	if after >= before {
 		t.Fatalf("exploration boost did not shrink: %v -> %v", before, after)
 	}
@@ -72,10 +72,10 @@ func TestC2UCBGeneralisesToUnseenArms(t *testing.T) {
 		for i := range x {
 			x[i] = rng.Float64()
 		}
-		b.Update([]linalg.Vector{x}, []float64{theta.Dot(x) + rng.NormFloat64()*0.01})
+		b.Update([]linalg.SparseVector{linalg.SparseFromDense(x)}, []float64{theta.Dot(x) + rng.NormFloat64()*0.01})
 	}
 	unseen := linalg.Vector{1, 1, 0, 0} // never played exactly
-	got := b.ExpectedScores([]linalg.Vector{unseen})[0]
+	got := b.ExpectedScores([]linalg.SparseVector{linalg.SparseFromDense(unseen)})[0]
 	if math.Abs(got-theta.Dot(unseen)) > 0.5 {
 		t.Fatalf("unseen arm estimate %v, want approx %v", got, theta.Dot(unseen))
 	}
@@ -83,9 +83,9 @@ func TestC2UCBGeneralisesToUnseenArms(t *testing.T) {
 
 func TestC2UCBForgetResetsKnowledge(t *testing.T) {
 	b := NewC2UCB(2, 1, nil)
-	x := linalg.Vector{1, 0}
+	x := linalg.SparseFromDense(linalg.Vector{1, 0})
 	for i := 0; i < 50; i++ {
-		b.Update([]linalg.Vector{x}, []float64{10})
+		b.Update([]linalg.SparseVector{x}, []float64{10})
 	}
 	if b.Theta()[0] < 5 {
 		t.Fatalf("theta not learned: %v", b.Theta())
@@ -101,14 +101,14 @@ func TestC2UCBRewardScaleAdapts(t *testing.T) {
 	if b.rewardScale != 1 {
 		t.Fatalf("initial scale = %v", b.rewardScale)
 	}
-	b.Update([]linalg.Vector{{1, 0}}, []float64{500})
+	b.Update([]linalg.SparseVector{linalg.SparseFromDense(linalg.Vector{1, 0})}, []float64{500})
 	if b.rewardScale < 400 {
 		t.Fatalf("scale did not grow: %v", b.rewardScale)
 	}
 	// Decay pulls it down slowly across updates with small rewards.
 	prev := b.rewardScale
 	for i := 0; i < 100; i++ {
-		b.Update([]linalg.Vector{{0, 1}}, []float64{0.1})
+		b.Update([]linalg.SparseVector{linalg.SparseFromDense(linalg.Vector{0, 1})}, []float64{0.1})
 	}
 	if b.rewardScale >= prev {
 		t.Fatal("scale never decays")
@@ -141,9 +141,8 @@ func TestQuickC2UCBUnbiased(t *testing.T) {
 		for round := 0; round < 120; round++ {
 			b.BeginRound()
 			i := rng.Intn(dim)
-			x := linalg.NewVector(dim)
-			x[i] = 1
-			b.Update([]linalg.Vector{x}, []float64{w[i]})
+			x := linalg.SparseVector{Dim: dim, Idx: []int{i}, Val: []float64{1}}
+			b.Update([]linalg.SparseVector{x}, []float64{w[i]})
 		}
 		got := b.Theta()
 		for i := range w {

@@ -13,6 +13,10 @@ import (
 // column (Part 1: indexed-column-prefix encoding) plus three derived
 // components (Part 2): a covering flag, the relative index size (zero
 // when already materialised), and usage information from prior rounds.
+//
+// Contexts are emitted sparse: at most one non-zero per key column plus
+// the three derived components, out of a dimension that grows with the
+// whole schema. The sparse ridge kernels exploit exactly this shape.
 type ContextBuilder struct {
 	schema *catalog.Schema
 	colIdx map[string]int // "table.column" -> dimension
@@ -69,9 +73,16 @@ type ArmInfo struct {
 	DatabaseBytes int64
 }
 
-// Build assembles the context vector for one arm.
-func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.Vector {
-	x := linalg.NewVector(cb.dim)
+// Build assembles the sparse context vector for one arm. Entries are
+// returned in ascending index order; zero-valued components (payload-only
+// key columns, unset derived statistics) are simply absent, which the
+// sparse kernels treat identically to explicit zeros.
+func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.SparseVector {
+	x := linalg.SparseVector{
+		Dim: cb.dim,
+		Idx: make([]int, 0, len(arm.Index.Key)+derivedDims),
+		Val: make([]float64, 0, len(arm.Index.Key)+derivedDims),
+	}
 	for j, col := range arm.Index.Key {
 		key := arm.Table + "." + col
 		if !info.PredicateColumns[key] {
@@ -81,19 +92,29 @@ func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.Vector {
 		if !ok {
 			continue
 		}
+		x.Idx = append(x.Idx, idx)
 		if cb.OneHot {
-			x[idx] = 1
+			x.Val = append(x.Val, 1)
 		} else {
-			x[idx] = math.Pow(10, -float64(j))
+			x.Val = append(x.Val, math.Pow(10, -float64(j)))
 		}
 	}
+	// Key columns arrive in key order, not dimension order.
+	x.Sort()
+	// The derived components occupy the top three dimensions, above every
+	// column dimension, so appending after the sort keeps order.
 	base := cb.dim - derivedDims
 	if arm.IsCovering() {
-		x[base] = 1
+		x.Idx = append(x.Idx, base)
+		x.Val = append(x.Val, 1)
 	}
 	if !info.Materialised && info.DatabaseBytes > 0 {
-		x[base+1] = float64(arm.SizeBytes) / float64(info.DatabaseBytes)
+		x.Idx = append(x.Idx, base+1)
+		x.Val = append(x.Val, float64(arm.SizeBytes)/float64(info.DatabaseBytes))
 	}
-	x[base+2] = info.Usage
+	if info.Usage != 0 {
+		x.Idx = append(x.Idx, base+2)
+		x.Val = append(x.Val, info.Usage)
+	}
 	return x
 }

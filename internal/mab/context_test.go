@@ -28,7 +28,7 @@ func TestContextPrefixEncoding(t *testing.T) {
 		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
 		DatabaseBytes:    100000,
 	}
-	x := cb.Build(arm, info)
+	x := cb.Build(arm, info).Dense()
 	// position 0 -> 10^0 = 1; position 1 -> 10^-1.
 	iStatus := cb.colIdx["orders.o_status"]
 	iDate := cb.colIdx["orders.o_date"]
@@ -55,7 +55,7 @@ func TestContextPayloadOnlyColumnIsZero(t *testing.T) {
 		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
 		DatabaseBytes:    1,
 	}
-	x := cb.Build(arm, info)
+	x := cb.Build(arm, info).Dense()
 	if got := x[cb.colIdx["orders.o_total"]]; got != 0 {
 		t.Fatalf("payload-only key column component = %v, want 0", got)
 	}
@@ -64,7 +64,7 @@ func TestContextPayloadOnlyColumnIsZero(t *testing.T) {
 		Index: index.New("orders", []string{"o_status"}, []string{"o_total"}),
 		Table: "orders",
 	}
-	x2 := cb.Build(arm2, info)
+	x2 := cb.Build(arm2, info).Dense()
 	if got := x2[cb.colIdx["orders.o_total"]]; got != 0 {
 		t.Fatalf("include column component = %v, want 0", got)
 	}
@@ -86,7 +86,7 @@ func TestContextDerivedParts(t *testing.T) {
 		Usage:            2.5,
 		DatabaseBytes:    100000,
 	}
-	x := cb.Build(arm, info)
+	x := cb.Build(arm, info).Dense()
 	if x[base] != 1 {
 		t.Fatalf("covering flag = %v", x[base])
 	}
@@ -99,7 +99,7 @@ func TestContextDerivedParts(t *testing.T) {
 
 	// Materialised arms have zero size component (no creation cost left).
 	info.Materialised = true
-	x = cb.Build(arm, info)
+	x = cb.Build(arm, info).Dense()
 	if x[base+1] != 0 {
 		t.Fatalf("materialised size component = %v, want 0", x[base+1])
 	}
@@ -117,7 +117,7 @@ func TestContextOneHotAblation(t *testing.T) {
 		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
 		DatabaseBytes:    1,
 	}
-	x := cb.Build(arm, info)
+	x := cb.Build(arm, info).Dense()
 	if x[cb.colIdx["orders.o_date"]] != 1 || x[cb.colIdx["orders.o_status"]] != 1 {
 		t.Fatal("one-hot encoding should set both components to 1")
 	}
@@ -132,14 +132,14 @@ func TestContextDistinguishesPrefixOrder(t *testing.T) {
 		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
 		DatabaseBytes:    1,
 	}
-	ab := cb.Build(&Arm{Index: index.New("orders", []string{"o_status", "o_date"}, nil), Table: "orders"}, info)
-	ba := cb.Build(&Arm{Index: index.New("orders", []string{"o_date", "o_status"}, nil), Table: "orders"}, info)
+	ab := cb.Build(&Arm{Index: index.New("orders", []string{"o_status", "o_date"}, nil), Table: "orders"}, info).Dense()
+	ba := cb.Build(&Arm{Index: index.New("orders", []string{"o_date", "o_status"}, nil), Table: "orders"}, info).Dense()
 	if ab.Equal(ba, 1e-12) {
 		t.Fatal("prefix encoding failed to distinguish key orders")
 	}
 	cb.OneHot = true
-	ab1 := cb.Build(&Arm{Index: index.New("orders", []string{"o_status", "o_date"}, nil), Table: "orders"}, info)
-	ba1 := cb.Build(&Arm{Index: index.New("orders", []string{"o_date", "o_status"}, nil), Table: "orders"}, info)
+	ab1 := cb.Build(&Arm{Index: index.New("orders", []string{"o_status", "o_date"}, nil), Table: "orders"}, info).Dense()
+	ba1 := cb.Build(&Arm{Index: index.New("orders", []string{"o_date", "o_status"}, nil), Table: "orders"}, info).Dense()
 	if !ab1.Equal(ba1, 1e-12) {
 		t.Fatal("one-hot encoding should NOT distinguish key orders")
 	}

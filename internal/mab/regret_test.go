@@ -20,7 +20,7 @@ import (
 type syntheticBandit struct {
 	rng      *rand.Rand
 	theta    linalg.Vector
-	contexts []linalg.Vector
+	contexts []linalg.SparseVector
 	m        int
 	noise    float64
 }
@@ -31,13 +31,13 @@ func newSyntheticBandit(seed int64, dim, k, m int, noise float64) *syntheticBand
 	for i := range theta {
 		theta[i] = rng.NormFloat64()
 	}
-	ctxs := make([]linalg.Vector, k)
+	ctxs := make([]linalg.SparseVector, k)
 	for a := range ctxs {
 		x := linalg.NewVector(dim)
 		for i := range x {
 			x[i] = rng.Float64()
 		}
-		ctxs[a] = x
+		ctxs[a] = linalg.SparseFromDense(x)
 	}
 	return &syntheticBandit{rng: rng, theta: theta, contexts: ctxs, m: m, noise: noise}
 }
@@ -46,7 +46,7 @@ func newSyntheticBandit(seed int64, dim, k, m int, noise float64) *syntheticBand
 func (sb *syntheticBandit) optimalReward() float64 {
 	vals := make([]float64, len(sb.contexts))
 	for i, x := range sb.contexts {
-		vals[i] = sb.theta.Dot(x)
+		vals[i] = sb.theta.DotSparse(x)
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
 	var s float64
@@ -76,13 +76,13 @@ func (sb *syntheticBandit) play(T int) []float64 {
 			order[i] = sc{i, v}
 		}
 		sort.Slice(order, func(a, b int) bool { return order[a].v > order[b].v })
-		var ctxs []linalg.Vector
+		var ctxs []linalg.SparseVector
 		var rewards []float64
 		var expected float64
 		for j := 0; j < sb.m; j++ {
 			i := order[j].i
 			x := sb.contexts[i]
-			mean := sb.theta.Dot(x)
+			mean := sb.theta.DotSparse(x)
 			expected += mean
 			ctxs = append(ctxs, x)
 			rewards = append(rewards, mean+sb.rng.NormFloat64()*sb.noise)
@@ -123,18 +123,18 @@ func TestRegretConvergesToOptimalSuperArm(t *testing.T) {
 		bandit.BeginRound()
 		scores := bandit.Scores(sb.contexts)
 		best := topM(scores, sb.m)
-		var ctxs []linalg.Vector
+		var ctxs []linalg.SparseVector
 		var rewards []float64
 		for _, i := range best {
 			x := sb.contexts[i]
 			ctxs = append(ctxs, x)
-			rewards = append(rewards, sb.theta.Dot(x)+sb.rng.NormFloat64()*sb.noise)
+			rewards = append(rewards, sb.theta.DotSparse(x)+sb.rng.NormFloat64()*sb.noise)
 		}
 		bandit.Update(ctxs, rewards)
 	}
 	truth := make([]float64, len(sb.contexts))
 	for i, x := range sb.contexts {
-		truth[i] = sb.theta.Dot(x)
+		truth[i] = sb.theta.DotSparse(x)
 	}
 	wantSet := map[int]bool{}
 	for _, i := range topM(truth, sb.m) {
@@ -163,7 +163,7 @@ func TestRegretRobustToAdversarialStart(t *testing.T) {
 	bandit := NewC2UCB(len(sb.theta), 0.25, nil)
 	truth := make([]float64, len(sb.contexts))
 	for i, x := range sb.contexts {
-		truth[i] = sb.theta.Dot(x)
+		truth[i] = sb.theta.DotSparse(x)
 	}
 	worst := topM(negate(truth), 1)[0]
 	bestTrue := topM(truth, 1)[0]
@@ -172,11 +172,11 @@ func TestRegretRobustToAdversarialStart(t *testing.T) {
 		bandit.BeginRound()
 		pick := topM(bandit.Scores(sb.contexts), 1)[0]
 		x := sb.contexts[pick]
-		mean := sb.theta.Dot(x)
+		mean := sb.theta.DotSparse(x)
 		if pick == worst && t1 < 10 {
 			mean = 10 // adversarial honeymoon
 		}
-		bandit.Update([]linalg.Vector{x}, []float64{mean + sb.rng.NormFloat64()*sb.noise})
+		bandit.Update([]linalg.SparseVector{x}, []float64{mean + sb.rng.NormFloat64()*sb.noise})
 	}
 	bandit.BeginRound()
 	final := topM(bandit.ExpectedScores(sb.contexts), 1)[0]

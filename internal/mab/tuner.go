@@ -43,6 +43,13 @@ type TunerOptions struct {
 	// MaxNewIndexesPerRound throttles materialisations per round (see
 	// SelectSuperArmThrottled). Default 6; negative disables throttling.
 	MaxNewIndexesPerRound int
+	// RebaseEvery is the fixed fallback cadence of the ridge inverse's
+	// exact recomputation; 0 keeps the linalg default (256).
+	RebaseEvery int
+	// RebaseDriftThreshold is the adaptive rank-1 drift trigger of the
+	// ridge rebase schedule; 0 keeps the linalg default, negative
+	// disables the adaptive schedule (fixed cadence only).
+	RebaseDriftThreshold float64
 }
 
 func (o TunerOptions) withDefaults() TunerOptions {
@@ -88,7 +95,7 @@ type Tuner struct {
 	// Pending observation state: the arms selected this round and their
 	// contexts, awaiting execution feedback.
 	pendingArms     []*Arm
-	pendingContexts []linalg.Vector
+	pendingContexts []linalg.SparseVector
 	pendingCreated  map[string]bool // ids materialised this round
 }
 
@@ -100,10 +107,12 @@ func NewTuner(schema *catalog.Schema, dbSizeBytes int64, opts TunerOptions) *Tun
 	ctxb.OneHot = opts.OneHotContext
 	store := NewQueryStore()
 	store.Window = opts.QoIWindow
+	bandit := NewC2UCB(ctxb.Dim(), opts.Lambda, opts.Alpha)
+	bandit.SetRebaseSchedule(opts.RebaseEvery, opts.RebaseDriftThreshold)
 	return &Tuner{
 		schema: schema,
 		opts:   opts,
-		bandit: NewC2UCB(ctxb.Dim(), opts.Lambda, opts.Alpha),
+		bandit: bandit,
 		ctxb:   ctxb,
 		gen:    NewArmGenerator(schema, opts.ArmGen),
 		store:  store,
@@ -159,7 +168,7 @@ func (t *Tuner) Recommend(lastWorkload []*query.Query) *Recommendation {
 	arms := t.gen.Generate(qois)
 	predCols := PredicateColumnSet(qois)
 
-	contexts := make([]linalg.Vector, len(arms))
+	contexts := make([]linalg.SparseVector, len(arms))
 	for i, a := range arms {
 		contexts[i] = t.ctxb.Build(a, ArmInfo{
 			PredicateColumns: predCols,
@@ -195,24 +204,26 @@ func (t *Tuner) Recommend(lastWorkload []*query.Query) *Recommendation {
 	}
 	rec.RecommendSec = t.recommendSecModel(len(arms))
 
-	// Pending state for the execution feedback.
+	// Pending state for the execution feedback. The decision-time view
+	// (size component non-zero only if the arm required materialisation)
+	// is exactly what Scores just saw, so the selected arms' contexts are
+	// reused from the scored batch instead of being rebuilt.
 	t.pendingArms = selected
-	t.pendingContexts = make([]linalg.Vector, len(selected))
+	t.pendingContexts = make([]linalg.SparseVector, len(selected))
 	t.pendingCreated = map[string]bool{}
 	created := map[string]bool{}
 	for _, ix := range rec.ToCreate {
 		created[ix.ID()] = true
 	}
+	selPos := make(map[*Arm]int, len(selected))
 	for i, a := range selected {
-		// Context must reflect the decision-time view (size component
-		// non-zero only if the arm required materialisation).
-		t.pendingContexts[i] = t.ctxb.Build(a, ArmInfo{
-			PredicateColumns: predCols,
-			Materialised:     t.cfg.Has(a.ID()),
-			Usage:            t.usage[a.ID()],
-			DatabaseBytes:    t.dbSize,
-		})
+		selPos[a] = i
 		t.pendingCreated[a.ID()] = created[a.ID()]
+	}
+	for i, a := range arms {
+		if j, ok := selPos[a]; ok {
+			t.pendingContexts[j] = contexts[i]
+		}
 	}
 
 	t.cfg = next
@@ -296,7 +307,7 @@ func (t *Tuner) WarmStart(training []*query.Query, estimateGain func(*Arm) float
 				Materialised:     false,
 				DatabaseBytes:    t.dbSize,
 			})
-			t.bandit.Update([]linalg.Vector{x}, []float64{estimateGain(a)})
+			t.bandit.Update([]linalg.SparseVector{x}, []float64{estimateGain(a)})
 		}
 	}
 }

@@ -72,12 +72,14 @@ func (p *ddqnPolicy) Recommend(round int, lastWorkload []*query.Query) Recommend
 	predCols := mab.PredicateColumnSet(qois)
 	contexts := make([]linalg.Vector, len(arms))
 	for i, a := range arms {
+		// The context builder emits the bandit's sparse representation;
+		// the neural agent consumes dense feature vectors.
 		contexts[i] = p.ctxb.Build(a, mab.ArmInfo{
 			PredicateColumns: predCols,
 			Materialised:     p.cfg.Has(a.ID()),
 			Usage:            p.usage[a.ID()],
 			DatabaseBytes:    p.dbSize,
-		})
+		}).Dense()
 	}
 
 	// Deliver the previous round's feedback with this round's candidates

@@ -49,24 +49,43 @@ func (s *StaticSequencer) Round(r int) []*query.Query {
 func (s *StaticSequencer) Rounds() int { return s.rounds }
 
 // ShiftingSequencer divides the templates into equal groups; each group
-// runs for a fixed number of rounds, then the workload switches to the
-// next group with no overlap ("the region of interest shifts over time
-// from one group of queries to another"). Defaults: 4 groups x 20 rounds.
+// runs for a span of rounds, then the workload switches to the next group
+// with no overlap ("the region of interest shifts over time from one
+// group of queries to another"). Defaults: 4 groups x 20 rounds.
+//
+// Round totals need not divide evenly: the rounds are floor-partitioned
+// across the groups (group g covers rounds g*total/G+1 through
+// (g+1)*total/G), the same ragged split policy.InvocationRounds assumes,
+// so e.g. 10 rounds over 4 groups run as spans of 2, 3, 2 and 3 rounds
+// instead of being truncated to 8.
 type ShiftingSequencer struct {
-	bench          *Benchmark
-	db             *storage.Database
-	seed           int64
-	groups         [][]TemplateSpec
-	roundsPerGroup int
+	bench       *Benchmark
+	db          *storage.Database
+	seed        int64
+	groups      [][]TemplateSpec
+	totalRounds int
 }
 
-// NewShifting builds a shifting sequencer with the paper's defaults.
+// NewShifting builds a shifting sequencer from a per-group round count
+// (the paper's 4 x 20 parameterisation).
 func NewShifting(bench *Benchmark, db *storage.Database, seed int64, numGroups, roundsPerGroup int) *ShiftingSequencer {
 	if numGroups <= 0 {
 		numGroups = 4
 	}
 	if roundsPerGroup <= 0 {
 		roundsPerGroup = 20
+	}
+	return NewShiftingTotal(bench, db, seed, numGroups, numGroups*roundsPerGroup)
+}
+
+// NewShiftingTotal builds a shifting sequencer from a total round count,
+// supporting ragged totals not divisible by the group count.
+func NewShiftingTotal(bench *Benchmark, db *storage.Database, seed int64, numGroups, totalRounds int) *ShiftingSequencer {
+	if numGroups <= 0 {
+		numGroups = 4
+	}
+	if totalRounds <= 0 {
+		totalRounds = numGroups * 20
 	}
 	// Random equal division of templates into groups, deterministic in
 	// the seed.
@@ -82,17 +101,20 @@ func NewShifting(bench *Benchmark, db *storage.Database, seed int64, numGroups, 
 	}
 	return &ShiftingSequencer{
 		bench: bench, db: db, seed: seed,
-		groups: groups, roundsPerGroup: roundsPerGroup,
+		groups: groups, totalRounds: totalRounds,
 	}
 }
 
-// GroupOf returns which template group round r draws from.
+// GroupOf returns which template group round r draws from: the group
+// whose floor-partitioned span contains r.
 func (s *ShiftingSequencer) GroupOf(r int) int {
-	g := (r - 1) / s.roundsPerGroup
-	if g >= len(s.groups) {
-		g = len(s.groups) - 1
+	numGroups := len(s.groups)
+	for g := 0; g < numGroups; g++ {
+		if r <= (g+1)*s.totalRounds/numGroups {
+			return g
+		}
 	}
-	return g
+	return numGroups - 1
 }
 
 // Round implements Sequencer.
@@ -107,7 +129,7 @@ func (s *ShiftingSequencer) Round(r int) []*query.Query {
 }
 
 // Rounds implements Sequencer.
-func (s *ShiftingSequencer) Rounds() int { return len(s.groups) * s.roundsPerGroup }
+func (s *ShiftingSequencer) Rounds() int { return s.totalRounds }
 
 // RandomSequencer models truly ad-hoc workloads: each round draws a
 // random multiset of templates (the paper reports 45-54% round-to-round
