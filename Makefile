@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke bench benchsweep benchsmoke ci
+.PHONY: build test race fmt vet smoke htapsmoke cover bench benchsweep benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,18 @@ vet:
 # End-to-end smoke run: Figure 2, shrunken rounds, 4-way parallel sweep.
 smoke:
 	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -progress
+
+# HTAP smoke mirroring CI: the hybrid-regime comparison at two
+# parallelism levels, stdout byte-compared for determinism.
+htapsmoke:
+	$(GO) run ./cmd/experiments -exp htap -quick -parallel 1 > .htap_p1.out
+	$(GO) run ./cmd/experiments -exp htap -quick -parallel 4 > .htap_p4.out
+	diff .htap_p1.out .htap_p4.out
+	@rm -f .htap_p1.out .htap_p4.out
+
+# Per-package coverage, as published in the CI workflow summary.
+cover:
+	$(GO) test -cover ./...
 
 # Hot-path benchmark capture: runs the recommend-loop benchmarks with
 # -benchmem and writes the numbers to BENCH_<short-sha>.json via
@@ -57,4 +69,6 @@ benchsmoke:
 	$(GO) run ./cmd/benchjson < .benchsmoke.out > /dev/null
 	@rm -f .benchsmoke.out
 
-ci: fmt vet build test race smoke benchsmoke
+# cover subsumes test (go test -cover runs the full suite), so ci pays
+# for one suite pass plus the race pass, matching the CI workflow.
+ci: fmt vet build cover race smoke htapsmoke benchsmoke

@@ -16,6 +16,7 @@
 //	experiments -exp fig2,fig3       # static convergence + totals
 //	experiments -exp table1          # time breakdown
 //	experiments -exp fig8 -reps 10   # RL comparison, 10 repetitions
+//	experiments -exp htap            # HTAP regime, all online baselines
 //	experiments -exp all -parallel 1 # sequential reference run
 //	experiments -exp all -progress   # per-cell completion lines on stderr
 package main
@@ -44,7 +45,7 @@ var (
 var benches = []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
 
 func main() {
-	exps := flag.String("exp", "all", "comma-separated: fig2,fig3,fig4,fig5,fig6,fig7,table1,table2,fig8,all")
+	exps := flag.String("exp", "all", "comma-separated: fig2,fig3,fig4,fig5,fig6,fig7,table1,table2,fig8,htap,all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -104,6 +105,9 @@ func main() {
 	}
 	if all || want["fig8"] {
 		fig8()
+	}
+	if all || want["htap"] {
+		htapFig()
 	}
 }
 
@@ -251,6 +255,46 @@ func table2() {
 		})
 	}
 	harness.RenderTable2(os.Stdout, rowsOut)
+	fmt.Println()
+}
+
+// The HTAP comparison sweeps every policy of interest — including the
+// random sanity control — over the hybrid regime. The list is data, not
+// renderer structure: RenderConvergence/RenderBreakdown/RenderTotals
+// derive their columns and rows from the runs, so adding a registered
+// policy here is the only edit a new baseline needs.
+var htapTuners = []harness.TunerKind{
+	harness.NoIndex, harness.RandomConfig, harness.PDTool, harness.Advisor, harness.MAB,
+}
+
+var htapBenches = []string{"ssb", "tpcds"}
+
+// htapFig renders the HTAP-regime comparison: per-round convergence and
+// the recommend/create/execute/maintain breakdown per benchmark, plus
+// the cross-benchmark totals. Update-heavy rounds interleave with the
+// analytical ones, and every policy's total is charged the index
+// maintenance its configuration incurs.
+func htapFig() {
+	var specs []harness.CellSpec
+	for _, bench := range htapBenches {
+		for _, kind := range htapTuners {
+			specs = append(specs, cellSpec(bench, harness.HTAP, kind))
+		}
+	}
+	results := runCells(specs)
+
+	byBench := map[string][]*harness.RunResult{}
+	for _, r := range results {
+		byBench[r.Spec.Benchmark] = append(byBench[r.Spec.Benchmark], r.Res)
+	}
+	for _, bench := range htapBenches {
+		harness.RenderConvergence(os.Stdout,
+			fmt.Sprintf("HTAP — %s convergence (update-heavy rounds interleaved)", bench), byBench[bench])
+		fmt.Println()
+		harness.RenderBreakdown(os.Stdout, fmt.Sprintf("HTAP — %s", bench), byBench[bench])
+		fmt.Println()
+	}
+	harness.RenderTotals(os.Stdout, "HTAP", byBench)
 	fmt.Println()
 }
 

@@ -7,7 +7,7 @@
 //	mabtune -bench ssb -tuner noindex,mab,advisor -series
 //
 // Benchmarks: ssb, tpch, tpch-skew, tpcds, imdb.
-// Regimes:    static, shifting, random.
+// Regimes:    static, shifting, random, htap.
 // Tuners:     any registered policy name (comma-separated list allowed;
 // all run against the identical database and workload sequence). The
 // seed strategies are noindex, pdtool, mab, ddqn and ddqn-sc; additional
@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		bench  = flag.String("bench", "tpch", "benchmark: ssb|tpch|tpch-skew|tpcds|imdb")
-		regime = flag.String("regime", "static", "workload regime: static|shifting|random")
+		regime = flag.String("regime", "static", "workload regime: static|shifting|random|htap")
 		tuners = flag.String("tuner", "noindex,pdtool,mab",
 			"comma-separated tuners: "+strings.Join(policy.Names(), "|"))
 		rounds  = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
@@ -72,8 +72,12 @@ func main() {
 		}
 		runs = append(runs, res)
 		rec, create, execT, total := res.Totals()
-		fmt.Printf("%-8s  recommend=%8.1fs  create=%8.1fs  execute=%9.1fs  total=%9.1fs  final-round-exec=%7.1fs\n",
-			kind, rec, create, execT, total, res.FinalRoundExecSec())
+		maint := ""
+		if exp.HasUpdates() {
+			maint = fmt.Sprintf("  maintain=%8.1fs", res.MaintenanceTotal())
+		}
+		fmt.Printf("%-8s  recommend=%8.1fs  create=%8.1fs  execute=%9.1fs%s  total=%9.1fs  final-round-exec=%7.1fs\n",
+			kind, rec, create, execT, maint, total, res.FinalRoundExecSec())
 	}
 
 	if *csvOut {

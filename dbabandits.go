@@ -14,8 +14,9 @@
 //   - the paper's comparison baselines: an offline what-if physical
 //     design tool and a DDQN agent;
 //   - the five benchmark suites (TPC-H, TPC-H Skew, SSB, TPC-DS,
-//     JOB/IMDb) and the three workload regimes (static, shifting,
-//     random);
+//     JOB/IMDb) and four workload regimes (static, shifting, random,
+//     and the HTAP regime of the journal follow-up, whose update-heavy
+//     rounds charge index maintenance against every policy's reward);
 //   - a pluggable tuning-policy layer: every strategy implements the
 //     Policy interface, is constructed through a name-keyed registry
 //     (RegisterPolicy / PolicyNames), and runs through the ONE generic
@@ -179,11 +180,13 @@ func PolicyNames() []string { return policy.Names() }
 
 // Tuning strategies.
 const (
-	NoIndex = harness.NoIndex
-	PDTool  = harness.PDTool
-	MAB     = harness.MAB
-	DDQN    = harness.DDQN
-	DDQNSC  = harness.DDQNSC
+	NoIndex      = harness.NoIndex
+	PDTool       = harness.PDTool
+	MAB          = harness.MAB
+	DDQN         = harness.DDQN
+	DDQNSC       = harness.DDQNSC
+	Advisor      = harness.Advisor
+	RandomConfig = harness.RandomConfig
 )
 
 // Workload regimes.
@@ -191,6 +194,7 @@ const (
 	Static   = harness.Static
 	Shifting = harness.Shifting
 	Random   = harness.Random
+	HTAP     = harness.HTAP
 )
 
 // NewTuner constructs the MAB tuner for a schema. dbSizeBytes normalises

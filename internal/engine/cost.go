@@ -142,6 +142,28 @@ func (cm *CostModel) OutputSec(outRows float64, aggWidth int) float64 {
 	return outRows * cm.CPUTupleSec * w
 }
 
+// IndexWriteSec prices maintaining one secondary index under a batch of
+// rows logical entry writes (the HTAP regime's write amplification): the
+// dirtied leaf pages are read, modified and written back, plus per-entry
+// CPU. entryWidth is the index leaf entry width in bytes, so wider
+// (more-column) indexes amplify every write — exactly the signal that
+// lets an update-aware tuner drop high-churn indexes. indexPages is the
+// index's total leaf page count; a batch can never dirty more distinct
+// pages than the index has.
+func (cm *CostModel) IndexWriteSec(rows, entryWidth, indexPages float64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	dirtyPages := math.Ceil(rows * entryWidth * 1.35 / float64(cm.PageBytes))
+	if dirtyPages < 1 {
+		dirtyPages = 1
+	}
+	if indexPages > 0 && dirtyPages > indexPages {
+		dirtyPages = indexPages
+	}
+	return dirtyPages*(cm.RandPageSec+cm.WritePageSec) + rows*cm.CPUTupleSec
+}
+
 // IndexBuildSec prices materialising an index: scan the heap, sort the
 // entries, write the leaf pages.
 func (cm *CostModel) IndexBuildSec(meta *catalog.Table, indexBytes int64) float64 {

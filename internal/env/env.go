@@ -8,6 +8,7 @@ package env
 
 import (
 	"fmt"
+	"sort"
 
 	"dbabandits/internal/catalog"
 	"dbabandits/internal/datagen"
@@ -24,11 +25,15 @@ import (
 // Regime names a workload regime.
 type Regime string
 
-// The three regimes of Section V-A.
+// The three regimes of Section V-A, plus the hybrid
+// transactional/analytical regime of the journal follow-up ("No DBA? No
+// regret!", VLDB J. 2023), where update-heavy rounds interleave with the
+// analytical ones and index maintenance is charged against reward.
 const (
 	Static   Regime = "static"
 	Shifting Regime = "shifting"
 	Random   Regime = "random"
+	HTAP     Regime = "htap"
 )
 
 // Options configure one experiment environment.
@@ -59,6 +64,12 @@ type Options struct {
 	MABWarmStartRounds int
 	// DDQNSeed seeds the agent separately (Figure 8 repeats runs).
 	DDQNSeed int64
+	// RandomSeed seeds the random-configuration control policy; 0 falls
+	// back to Seed.
+	RandomSeed int64
+	// HTAP tunes the hybrid regime's update-heavy rounds (update cadence,
+	// statements per round, write volume). Ignored by other regimes.
+	HTAP workload.HTAPOptions
 }
 
 // Environment is a prepared benchmark environment: database, cost model,
@@ -119,6 +130,8 @@ func New(opts Options) (*Environment, error) {
 		e.Seq = workload.NewShiftingTotal(bench, db, opts.Seed, 4, opts.Rounds)
 	case Random:
 		e.Seq = workload.NewRandom(bench, db, opts.Seed, opts.Rounds, 0)
+	case HTAP:
+		e.Seq = workload.NewHTAP(bench, db, opts.Seed, opts.Rounds, opts.HTAP)
 	default:
 		return nil, fmt.Errorf("env: unknown regime %q", opts.Regime)
 	}
@@ -161,6 +174,56 @@ func (e *Environment) CreationCost(toCreate []*index.Index) (map[string]float64,
 	return per, total
 }
 
+// MaintenanceCost prices the index maintenance a round's update
+// statements induce on the given configuration: for every statement, each
+// index on the written table that the statement touches (every index for
+// INSERTs, only indexes containing a written column for UPDATEs) pays the
+// cost model's write amplification for the affected rows — UPDATEs pay
+// twice per entry (delete + insert). It returns the per-index seconds
+// plus the sum; both are exactly zero for a round with no updates, so
+// analytical regimes are unaffected.
+func (e *Environment) MaintenanceCost(updates []query.Update, cfg *index.Config) (map[string]float64, float64) {
+	if len(updates) == 0 || cfg == nil || cfg.Len() == 0 {
+		return nil, 0
+	}
+	per := map[string]float64{}
+	for _, u := range updates {
+		meta, ok := e.Schema.Table(u.Table)
+		if !ok {
+			continue
+		}
+		for _, ix := range cfg.OnTable(u.Table) {
+			if !u.Touches(ix.AllColumns()) {
+				continue
+			}
+			entries := u.Rows
+			if u.Kind == query.UpdateModify {
+				entries *= 2 // delete the old entry, insert the new one
+			}
+			entryWidth := float64(ix.EntryWidthBytes(meta))
+			indexPages := e.CM.PagesOf(ix.SizeBytes(meta))
+			per[ix.ID()] += e.CM.IndexWriteSec(entries, entryWidth, indexPages)
+		}
+	}
+	// The round total is the per-index sum in sorted-id order: exact
+	// per-index additivity (what the property tests pin) and a
+	// deterministic float result regardless of map iteration.
+	var total float64
+	for _, id := range sortedKeys(per) {
+		total += per[id]
+	}
+	return per, total
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // The policy.Env capability view. Method names differ from the exported
 // field names (Go disallows a method shadowing a field), but each is a
 // trivial projection of the prepared environment.
@@ -196,15 +259,42 @@ func (e *Environment) IndexCreationSec(ix *index.Index) float64 {
 	return e.CM.IndexBuildSec(meta, ix.SizeBytes(meta))
 }
 
+// HasUpdates implements policy.UpdateEnv: whether this environment's
+// regime can issue update statements.
+func (e *Environment) HasUpdates() bool {
+	us, ok := e.Seq.(workload.UpdateSequencer)
+	return ok && us.UpdatesEnabled()
+}
+
+// UpdatesAt returns round r's update statements — nil for analytical
+// regimes and analytical-only rounds. It is deliberately NOT part of
+// policy.UpdateEnv: the driver is its only policy-facing consumer
+// (statements reach policies through UpdateAware.ObserveUpdates after
+// execution), so no policy can peek at future churn.
+func (e *Environment) UpdatesAt(r int) []query.Update {
+	if us, ok := e.Seq.(workload.UpdateSequencer); ok {
+		return us.UpdatesAt(r)
+	}
+	return nil
+}
+
 // policyParams projects the experiment options onto the per-strategy
 // knobs, read at Run time so callers may tweak Opts between runs.
 func (e *Environment) policyParams() policy.Params {
+	randomSeed := e.Opts.RandomSeed
+	if randomSeed == 0 {
+		randomSeed = e.Opts.Seed
+	}
 	return policy.Params{
 		MAB:                e.Opts.MABOptions,
 		MABWarmStartRounds: e.Opts.MABWarmStartRounds,
 		DDQNSeed:           e.Opts.DDQNSeed,
+		RandomSeed:         randomSeed,
 		PDToolTimeLimitSec: e.Opts.PDToolTimeLimitSec,
 	}
 }
 
-var _ policy.Env = (*Environment)(nil)
+var (
+	_ policy.Env       = (*Environment)(nil)
+	_ policy.UpdateEnv = (*Environment)(nil)
+)

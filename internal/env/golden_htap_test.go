@@ -1,0 +1,149 @@
+package env
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbabandits/internal/policy"
+)
+
+// htapGoldenPolicies snapshots the registry before any test runs: the
+// policy package's init-time registrations are complete once this
+// package's variables initialise, while test-time registrations (e.g.
+// run_test.go's "keep-empty") happen later and are deliberately outside
+// the golden harness.
+var htapGoldenPolicies = policy.Names()
+
+// htapGoldenEnv is the fixed-seed small HTAP environment every golden
+// fixture was captured from: SSB with update-heavy rounds every second
+// round against the lineorder fact table.
+func htapGoldenEnv(t *testing.T) *Environment {
+	t.Helper()
+	e, err := New(Options{
+		Benchmark:     "ssb",
+		Regime:        HTAP,
+		ScaleFactor:   10,
+		MaxStoredRows: 2000,
+		Rounds:        6,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Opts.DDQNSeed = 7
+	e.Opts.RandomSeed = 7
+	return e
+}
+
+// TestHTAPGoldensForAllRegisteredPolicies is the HTAP regression harness:
+// EVERY registered policy must have a committed RunResult fixture
+// (testdata/golden_htap_<name>.json) and reproduce it byte for byte.
+// Registering a new policy therefore fails this test until a fixture is
+// captured with -update-golden and reviewed — numeric drift in the
+// update/maintenance path of any strategy shows up as a byte diff here,
+// mirroring the analytical goldens of
+// TestRunPolicyMatchesPreRefactorGoldens.
+//
+// The registry snapshot is taken at package-init time (see
+// htapGoldenPolicies), so policies registered by other tests in this
+// package at run time don't need fixtures and cannot perturb the
+// harness under -shuffle. The fixture directory is cross-checked
+// against the snapshot so a stale or orphaned fixture also fails.
+func TestHTAPGoldensForAllRegisteredPolicies(t *testing.T) {
+	names := htapGoldenPolicies
+	want := map[string]bool{}
+	for _, name := range names {
+		want["golden_htap_"+name+".json"] = true
+	}
+	if !*updateGolden {
+		matches, err := filepath.Glob(filepath.Join("testdata", "golden_htap_*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if !want[filepath.Base(m)] {
+				t.Errorf("orphaned HTAP fixture %s: no policy %q is registered", m,
+					strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "golden_htap_"), ".json"))
+			}
+		}
+	}
+
+	for _, name := range names {
+		e := htapGoldenEnv(t)
+		p, err := policy.New(name, e, e.policyParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RunPolicy(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, '\n')
+
+		// Round-trip gate: the fixture format must survive
+		// unmarshal/remarshal byte-identically, so fixtures stay
+		// loadable as inputs (not just comparison blobs).
+		var rt RunResult
+		if err := json.Unmarshal(got, &rt); err != nil {
+			t.Fatalf("%s: fixture does not round-trip: %v", name, err)
+		}
+		again, err := json.MarshalIndent(&rt, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		again = append(again, '\n')
+		if !bytes.Equal(got, again) {
+			t.Errorf("%s: RunResult JSON is not byte-stable across a round-trip", name)
+		}
+
+		path := filepath.Join("testdata", "golden_htap_"+name+".json")
+		if *updateGolden {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing HTAP golden fixture (every registered policy needs one; capture with -update-golden): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: HTAP RunResult diverged from the committed fixture (run with -update-golden only if the change is intended)\n got: %s", name, got)
+		}
+	}
+}
+
+// TestHTAPRunsChargeMaintenance guards against the regime silently
+// degenerating to analytical: a policy that holds indexes through
+// update-heavy rounds must be charged maintenance, and the no-index
+// control must never be.
+func TestHTAPRunsChargeMaintenance(t *testing.T) {
+	e := htapGoldenEnv(t)
+	noIdx, err := e.Run(NoIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noIdx.MaintenanceTotal() != 0 {
+		t.Fatalf("noindex charged maintenance %v", noIdx.MaintenanceTotal())
+	}
+	mab, err := e.Run(MAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mab.MaintenanceTotal() <= 0 {
+		t.Fatal("mab holds indexes under updates yet was charged no maintenance")
+	}
+	for _, rr := range mab.Rounds {
+		if rr.NumUpdates == 0 && rr.MaintenanceSec != 0 {
+			t.Fatalf("round %d: maintenance charged without updates", rr.Round)
+		}
+	}
+}

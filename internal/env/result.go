@@ -4,27 +4,39 @@ package env
 type TunerKind string
 
 // The four strategies of the paper's evaluation (plus the single-column
-// DDQN variant of Figure 8). Any other registered policy name is equally
-// valid — these constants exist for the seed comparisons.
+// DDQN variant of Figure 8, the online what-if advisor, and the
+// random-configuration sanity control). Any other registered policy name
+// is equally valid — these constants exist for the seed comparisons.
 const (
-	NoIndex TunerKind = "noindex"
-	PDTool  TunerKind = "pdtool"
-	MAB     TunerKind = "mab"
-	DDQN    TunerKind = "ddqn"
-	DDQNSC  TunerKind = "ddqn-sc"
+	NoIndex      TunerKind = "noindex"
+	PDTool       TunerKind = "pdtool"
+	MAB          TunerKind = "mab"
+	DDQN         TunerKind = "ddqn"
+	DDQNSC       TunerKind = "ddqn-sc"
+	Advisor      TunerKind = "advisor"
+	RandomConfig TunerKind = "random"
 )
 
-// RoundResult is one round's breakdown.
+// RoundResult is one round's breakdown. The HTAP-only fields marshal with
+// omitempty so analytical RunResult JSON — including the pre-refactor
+// golden fixtures — stays byte-identical.
 type RoundResult struct {
 	Round        int
 	RecommendSec float64
 	CreateSec    float64
 	ExecSec      float64
-	NumIndexes   int
+	// MaintenanceSec is the index maintenance charged by the round's
+	// update statements (HTAP regime; 0 on analytical rounds).
+	MaintenanceSec float64 `json:",omitempty"`
+	// NumUpdates counts the round's update statements.
+	NumUpdates int `json:",omitempty"`
+	NumIndexes int
 }
 
 // TotalSec is the round's end-to-end time.
-func (r RoundResult) TotalSec() float64 { return r.RecommendSec + r.CreateSec + r.ExecSec }
+func (r RoundResult) TotalSec() float64 {
+	return r.RecommendSec + r.CreateSec + r.ExecSec + r.MaintenanceSec
+}
 
 // RunResult aggregates an experiment run.
 type RunResult struct {
@@ -34,14 +46,26 @@ type RunResult struct {
 	Rounds    []RoundResult
 }
 
-// Totals returns the summed breakdown.
+// Totals returns the summed breakdown. total includes maintenance (zero
+// outside the HTAP regime); MaintenanceTotal reports it separately.
 func (r *RunResult) Totals() (rec, create, exec, total float64) {
+	var maint float64
 	for _, rr := range r.Rounds {
 		rec += rr.RecommendSec
 		create += rr.CreateSec
 		exec += rr.ExecSec
+		maint += rr.MaintenanceSec
 	}
-	return rec, create, exec, rec + create + exec
+	return rec, create, exec, rec + create + exec + maint
+}
+
+// MaintenanceTotal sums the per-round index maintenance charges.
+func (r *RunResult) MaintenanceTotal() float64 {
+	var maint float64
+	for _, rr := range r.Rounds {
+		maint += rr.MaintenanceSec
+	}
+	return maint
 }
 
 // FinalRoundExecSec returns the last round's execution time (the paper's

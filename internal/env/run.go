@@ -27,10 +27,13 @@ func (e *Environment) Run(kind TunerKind) (*RunResult, error) {
 // shared by every tuning strategy. Each round it (1) asks the policy for
 // a configuration given only the previously executed workload, (2) diffs
 // it against the current configuration and prices the index creations,
-// (3) executes the round's workload under it, and (4) feeds the true
-// execution statistics and creation costs back to the policy. The
-// per-round recommendation / creation / execution breakdown is exactly
-// what every figure and table of the evaluation reports.
+// (3) executes the round's workload under it, (4) prices the index
+// maintenance of the round's update statements (HTAP regime only), and
+// (5) feeds the true execution statistics, creation costs and — for
+// update-aware policies — maintenance charges back to the policy. The
+// per-round recommendation / creation / execution / maintenance
+// breakdown is exactly what every figure and table of the evaluation
+// reports.
 func (e *Environment) RunPolicy(p policy.Policy) (*RunResult, error) {
 	defer p.Close()
 	res := &RunResult{
@@ -38,6 +41,7 @@ func (e *Environment) RunPolicy(p policy.Policy) (*RunResult, error) {
 		Regime:    e.Opts.Regime,
 		Tuner:     TunerKind(p.Name()),
 	}
+	hasUpdates := e.HasUpdates()
 	cfg := index.NewConfig()
 	var lastWorkload []*query.Query
 	for r := 1; r <= e.Seq.Rounds(); r++ {
@@ -54,15 +58,29 @@ func (e *Environment) RunPolicy(p policy.Policy) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		var updates []query.Update
+		var maintSec float64
+		if hasUpdates {
+			updates = e.UpdatesAt(r)
+			var perMaint map[string]float64
+			perMaint, maintSec = e.MaintenanceCost(updates, cfg)
+			// Update-aware policies learn from the statements and the
+			// charges before shaping the round's rewards in Observe.
+			if ua, ok := p.(policy.UpdateAware); ok {
+				ua.ObserveUpdates(updates, perMaint)
+			}
+		}
 		p.Observe(stats, perCreate)
 		lastWorkload = wl
 
 		res.Rounds = append(res.Rounds, RoundResult{
-			Round:        r,
-			RecommendSec: rec.RecommendSec,
-			CreateSec:    createSec,
-			ExecSec:      exec,
-			NumIndexes:   cfg.Len(),
+			Round:          r,
+			RecommendSec:   rec.RecommendSec,
+			CreateSec:      createSec,
+			ExecSec:        exec,
+			MaintenanceSec: maintSec,
+			NumUpdates:     len(updates),
+			NumIndexes:     cfg.Len(),
 		})
 	}
 	return res, nil

@@ -46,6 +46,9 @@ func (s CellSpec) withDerivedSeeds() CellSpec {
 	if s.DDQNSeed == 0 && (s.Tuner == DDQN || s.Tuner == DDQNSC) {
 		s.DDQNSeed = runner.CellSeed(s.Seed, s.Key())
 	}
+	if s.RandomSeed == 0 && s.Tuner == RandomConfig {
+		s.RandomSeed = runner.CellSeed(s.Seed, s.Key())
+	}
 	return s
 }
 

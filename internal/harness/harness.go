@@ -19,23 +19,28 @@ import (
 type TunerKind = env.TunerKind
 
 // The four strategies of the evaluation (plus the single-column DDQN
-// variant of Figure 8).
+// variant of Figure 8, the online what-if advisor, and the
+// random-configuration sanity control).
 const (
-	NoIndex = env.NoIndex
-	PDTool  = env.PDTool
-	MAB     = env.MAB
-	DDQN    = env.DDQN
-	DDQNSC  = env.DDQNSC
+	NoIndex      = env.NoIndex
+	PDTool       = env.PDTool
+	MAB          = env.MAB
+	DDQN         = env.DDQN
+	DDQNSC       = env.DDQNSC
+	Advisor      = env.Advisor
+	RandomConfig = env.RandomConfig
 )
 
 // Regime names a workload regime.
 type Regime = env.Regime
 
-// The three regimes of Section V-A.
+// The three regimes of Section V-A, plus the HTAP regime of the journal
+// follow-up (update-heavy rounds, maintenance-cost rewards).
 const (
 	Static   = env.Static
 	Shifting = env.Shifting
 	Random   = env.Random
+	HTAP     = env.HTAP
 )
 
 // Options configure one experiment.

@@ -34,11 +34,64 @@ func RenderConvergence(w io.Writer, title string, runs []*RunResult) {
 	}
 }
 
+// displayNames maps registry names to the figure labels of the paper.
+// Unlisted policies fall back to their registry name, so a newly
+// registered baseline appears in every figure without renderer edits.
+var displayNames = map[TunerKind]string{
+	NoIndex:      "NoIndex",
+	PDTool:       "PDTool",
+	MAB:          "MAB",
+	DDQN:         "DDQN",
+	DDQNSC:       "DDQN-SC",
+	Advisor:      "Advisor",
+	RandomConfig: "Random",
+}
+
+// DisplayName returns the figure label of a tuning strategy.
+func DisplayName(k TunerKind) string {
+	if n, ok := displayNames[k]; ok {
+		return n
+	}
+	return string(k)
+}
+
+// TunerColumns derives the figure column order from a result set: the
+// tuners in first-appearance order, scanning benchmarks alphabetically
+// and each benchmark's runs in their recorded order. Renderers therefore
+// follow whatever registered-policy subset a sweep ran — the seed
+// NoIndex/PDTool/MAB sweeps keep their historical column order, and new
+// baselines appear with zero renderer edits.
+func TunerColumns(results map[string][]*RunResult) []TunerKind {
+	var names []string
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var order []TunerKind
+	seen := map[TunerKind]bool{}
+	for _, name := range names {
+		for _, r := range results[name] {
+			if !seen[r.Tuner] {
+				seen[r.Tuner] = true
+				order = append(order, r.Tuner)
+			}
+		}
+	}
+	return order
+}
+
 // RenderTotals prints total end-to-end workload times per benchmark and
 // tuner — the data behind the total-time bar charts (Figures 3, 5, 7).
+// Columns are derived from the runs present (see TunerColumns), one per
+// tuner that ran.
 func RenderTotals(w io.Writer, title string, results map[string][]*RunResult) {
 	fmt.Fprintf(w, "# %s — total end-to-end workload time (sec)\n", title)
-	fmt.Fprintf(w, "%-12s%12s%12s%12s\n", "workload", "NoIndex", "PDTool", "MAB")
+	cols := TunerColumns(results)
+	fmt.Fprintf(w, "%-12s", "workload")
+	for _, k := range cols {
+		fmt.Fprintf(w, "%12s", DisplayName(k))
+	}
+	fmt.Fprintln(w)
 	var names []string
 	for name := range results {
 		names = append(names, name)
@@ -50,8 +103,26 @@ func RenderTotals(w io.Writer, title string, results map[string][]*RunResult) {
 			_, _, _, total := r.Totals()
 			byTuner[r.Tuner] = total
 		}
-		fmt.Fprintf(w, "%-12s%12.1f%12.1f%12.1f\n",
-			name, byTuner[NoIndex], byTuner[PDTool], byTuner[MAB])
+		fmt.Fprintf(w, "%-12s", name)
+		for _, k := range cols {
+			fmt.Fprintf(w, "%12.1f", byTuner[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderBreakdown prints the recommendation / creation / execution /
+// maintenance / total breakdown of one benchmark's runs, one row per
+// tuner in run order — the HTAP comparison table. Like RenderTotals it
+// is generic over whatever registered policies the sweep ran.
+func RenderBreakdown(w io.Writer, title string, runs []*RunResult) {
+	fmt.Fprintf(w, "# %s — time breakdown (sec)\n", title)
+	fmt.Fprintf(w, "%-10s%14s%14s%14s%14s%14s\n",
+		"method", "Recommend", "IndexCreate", "Execution", "Maintenance", "Total")
+	for _, r := range runs {
+		rec, create, exec, total := r.Totals()
+		fmt.Fprintf(w, "%-10s%14.1f%14.1f%14.1f%14.1f%14.1f\n",
+			DisplayName(r.Tuner), rec, create, exec, r.MaintenanceTotal(), total)
 	}
 }
 

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeRun builds a synthetic one-round RunResult for renderer tests.
+func fakeRun(bench string, tuner TunerKind, rec, create, exec, maint float64) *RunResult {
+	return &RunResult{
+		Benchmark: bench,
+		Tuner:     tuner,
+		Rounds: []RoundResult{{
+			Round:          1,
+			RecommendSec:   rec,
+			CreateSec:      create,
+			ExecSec:        exec,
+			MaintenanceSec: maint,
+			NumIndexes:     1,
+		}},
+	}
+}
+
+// TestTunerColumnsOrdering pins the column derivation of the generalised
+// renderers: columns follow first appearance, scanning benchmarks
+// alphabetically and each benchmark's runs in recorded (spec) order, with
+// later duplicates ignored — so arbitrary registered-policy subsets
+// render in the order the sweep ran them.
+func TestTunerColumnsOrdering(t *testing.T) {
+	cases := []struct {
+		name    string
+		results map[string][]*RunResult
+		want    []TunerKind
+	}{
+		{
+			name: "seed set keeps historical order",
+			results: map[string][]*RunResult{
+				"ssb": {fakeRun("ssb", NoIndex, 0, 0, 1, 0), fakeRun("ssb", PDTool, 0, 0, 1, 0), fakeRun("ssb", MAB, 0, 0, 1, 0)},
+			},
+			want: []TunerKind{NoIndex, PDTool, MAB},
+		},
+		{
+			name: "htap comparison set in sweep order",
+			results: map[string][]*RunResult{
+				"tpcds": {fakeRun("tpcds", NoIndex, 0, 0, 1, 0), fakeRun("tpcds", RandomConfig, 0, 0, 1, 0), fakeRun("tpcds", PDTool, 0, 0, 1, 0), fakeRun("tpcds", Advisor, 0, 0, 1, 0), fakeRun("tpcds", MAB, 0, 0, 1, 0)},
+			},
+			want: []TunerKind{NoIndex, RandomConfig, PDTool, Advisor, MAB},
+		},
+		{
+			name: "benchmarks scanned alphabetically, duplicates ignored",
+			results: map[string][]*RunResult{
+				"zzz": {fakeRun("zzz", DDQN, 0, 0, 1, 0), fakeRun("zzz", MAB, 0, 0, 1, 0)},
+				"aaa": {fakeRun("aaa", MAB, 0, 0, 1, 0), fakeRun("aaa", Advisor, 0, 0, 1, 0)},
+			},
+			want: []TunerKind{MAB, Advisor, DDQN},
+		},
+		{
+			name: "unregistered future policy appears under its own name",
+			results: map[string][]*RunResult{
+				"ssb": {fakeRun("ssb", TunerKind("wfit"), 0, 0, 1, 0), fakeRun("ssb", MAB, 0, 0, 1, 0)},
+			},
+			want: []TunerKind{TunerKind("wfit"), MAB},
+		},
+	}
+	for _, c := range cases {
+		if got := TunerColumns(c.results); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: TunerColumns = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRenderTotalsSeedSetByteIdentical pins RenderTotals for the seed
+// NoIndex/PDTool/MAB sweep to the exact pre-generalisation output (the
+// renderer used to hardcode these three columns), so Figures 3, 5 and 7
+// cannot drift by a byte.
+func TestRenderTotalsSeedSetByteIdentical(t *testing.T) {
+	results := map[string][]*RunResult{
+		"ssb":  {fakeRun("ssb", NoIndex, 0, 0, 400, 0), fakeRun("ssb", PDTool, 10, 20, 300, 0), fakeRun("ssb", MAB, 1, 30, 250.25, 0)},
+		"tpch": {fakeRun("tpch", NoIndex, 0, 0, 900, 0), fakeRun("tpch", PDTool, 15, 25, 700, 0), fakeRun("tpch", MAB, 2, 35, 600, 0)},
+	}
+	var sb strings.Builder
+	RenderTotals(&sb, "Figure 3 — static totals", results)
+	want := "# Figure 3 — static totals — total end-to-end workload time (sec)\n" +
+		"workload         NoIndex      PDTool         MAB\n" +
+		"ssb                400.0       330.0       281.2\n" +
+		"tpch               900.0       740.0       637.0\n"
+	if sb.String() != want {
+		t.Errorf("seed-set RenderTotals diverged from the pre-generalisation bytes\n got: %q\nwant: %q", sb.String(), want)
+	}
+}
+
+// TestRenderTotalsArbitrarySubset checks that a non-seed policy subset
+// renders one correctly ordered, correctly labelled column per tuner.
+func TestRenderTotalsArbitrarySubset(t *testing.T) {
+	results := map[string][]*RunResult{
+		"imdb": {
+			fakeRun("imdb", RandomConfig, 0, 5, 100, 2),
+			fakeRun("imdb", Advisor, 3, 4, 80, 1),
+			fakeRun("imdb", TunerKind("wfit"), 1, 2, 70, 0.5),
+		},
+	}
+	var sb strings.Builder
+	RenderTotals(&sb, "subset", results)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	if got, want := lines[1], fmt.Sprintf("%-12s%12s%12s%12s", "workload", "Random", "Advisor", "wfit"); got != want {
+		t.Errorf("header = %q, want %q", got, want)
+	}
+	// Totals include maintenance: 107.0, 88.0, 73.5.
+	if got, want := lines[2], fmt.Sprintf("%-12s%12.1f%12.1f%12.1f", "imdb", 107.0, 88.0, 73.5); got != want {
+		t.Errorf("row = %q, want %q", got, want)
+	}
+}
+
+// TestRenderBreakdownColumns checks the HTAP breakdown renderer: one row
+// per run in run order, display names, and a maintenance column that
+// feeds the total.
+func TestRenderBreakdownColumns(t *testing.T) {
+	runs := []*RunResult{
+		fakeRun("ssb", NoIndex, 0, 0, 400, 0),
+		fakeRun("ssb", RandomConfig, 0, 50, 350, 25),
+		fakeRun("ssb", MAB, 2, 30, 250, 10),
+	}
+	var sb strings.Builder
+	RenderBreakdown(&sb, "HTAP — ssb", runs)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), sb.String())
+	}
+	if got, want := lines[1], fmt.Sprintf("%-10s%14s%14s%14s%14s%14s",
+		"method", "Recommend", "IndexCreate", "Execution", "Maintenance", "Total"); got != want {
+		t.Errorf("header = %q, want %q", got, want)
+	}
+	if got, want := lines[3], fmt.Sprintf("%-10s%14.1f%14.1f%14.1f%14.1f%14.1f",
+		"Random", 0.0, 50.0, 350.0, 25.0, 425.0); got != want {
+		t.Errorf("random row = %q, want %q", got, want)
+	}
+}
+
+// TestDisplayNames pins the figure labels of the registered strategies
+// and the fallback for future ones.
+func TestDisplayNames(t *testing.T) {
+	cases := map[TunerKind]string{
+		NoIndex:            "NoIndex",
+		PDTool:             "PDTool",
+		MAB:                "MAB",
+		DDQN:               "DDQN",
+		DDQNSC:             "DDQN-SC",
+		Advisor:            "Advisor",
+		RandomConfig:       "Random",
+		TunerKind("wfit"):  "wfit",
+		TunerKind("other"): "other",
+	}
+	for k, want := range cases {
+		if got := DisplayName(k); got != want {
+			t.Errorf("DisplayName(%q) = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -20,17 +20,28 @@ import (
 type ContextBuilder struct {
 	schema *catalog.Schema
 	colIdx map[string]int // "table.column" -> dimension
-	dim    int
+	cols   int            // column-dimension count (Part 1)
 
 	// OneHot switches Part 1 to a plain bag-of-columns encoding (1 for
 	// any key column). Only the ablation benches enable it; the paper
 	// argues prefix encoding is essential because "similarity of arms
 	// depends on having similar column prefixes".
 	OneHot bool
+	// UpdateDims appends the two update-sensitivity components of the
+	// HTAP extension ("No DBA? No regret!"): the arm's decayed churn
+	// exposure and its size-weighted churn (a linear proxy for modelled
+	// maintenance cost). Set it before Dim is consumed — it changes the
+	// context dimensionality, so analytical runs leave it off and remain
+	// bit-identical to the pre-HTAP tuner.
+	UpdateDims bool
 }
 
 // Derived-part dimension count: covering flag, relative size, usage.
 const derivedDims = 3
+
+// Update-sensitivity dimension count: churn exposure, size-weighted
+// churn. Appended above the derived part only when UpdateDims is set.
+const updateDims = 2
 
 // NewContextBuilder enumerates the schema's columns into dimensions.
 func NewContextBuilder(schema *catalog.Schema) *ContextBuilder {
@@ -49,12 +60,18 @@ func NewContextBuilder(schema *catalog.Schema) *ContextBuilder {
 			d++
 		}
 	}
-	cb.dim = d + derivedDims
+	cb.cols = d
 	return cb
 }
 
 // Dim returns the context dimensionality.
-func (cb *ContextBuilder) Dim() int { return cb.dim }
+func (cb *ContextBuilder) Dim() int {
+	d := cb.cols + derivedDims
+	if cb.UpdateDims {
+		d += updateDims
+	}
+	return d
+}
 
 // ArmInfo carries the dynamic inputs of a context vector.
 type ArmInfo struct {
@@ -71,6 +88,11 @@ type ArmInfo struct {
 	Usage float64
 	// DatabaseBytes normalises the size component.
 	DatabaseBytes int64
+	// Churn is the arm's decayed update-churn exposure (D4, HTAP only):
+	// the fraction of its table's rows recently written in a way that
+	// forces maintenance on this index. Ignored unless the builder's
+	// UpdateDims is set.
+	Churn float64
 }
 
 // Build assembles the sparse context vector for one arm. Entries are
@@ -79,9 +101,9 @@ type ArmInfo struct {
 // sparse kernels treat identically to explicit zeros.
 func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.SparseVector {
 	x := linalg.SparseVector{
-		Dim: cb.dim,
-		Idx: make([]int, 0, len(arm.Index.Key)+derivedDims),
-		Val: make([]float64, 0, len(arm.Index.Key)+derivedDims),
+		Dim: cb.Dim(),
+		Idx: make([]int, 0, len(arm.Index.Key)+derivedDims+updateDims),
+		Val: make([]float64, 0, len(arm.Index.Key)+derivedDims+updateDims),
 	}
 	for j, col := range arm.Index.Key {
 		key := arm.Table + "." + col
@@ -101,9 +123,9 @@ func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.SparseVector {
 	}
 	// Key columns arrive in key order, not dimension order.
 	x.Sort()
-	// The derived components occupy the top three dimensions, above every
+	// The derived components occupy the top dimensions, above every
 	// column dimension, so appending after the sort keeps order.
-	base := cb.dim - derivedDims
+	base := cb.cols
 	if arm.IsCovering() {
 		x.Idx = append(x.Idx, base)
 		x.Val = append(x.Val, 1)
@@ -115,6 +137,18 @@ func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.SparseVector {
 	if info.Usage != 0 {
 		x.Idx = append(x.Idx, base+2)
 		x.Val = append(x.Val, info.Usage)
+	}
+	if cb.UpdateDims && info.Churn != 0 {
+		// D4: churn exposure. D5: size-weighted churn — written rows ×
+		// entry width scales with churn × index size, so this component
+		// is a linear proxy for the maintenance seconds the reward will
+		// subtract, normalised like the size component.
+		x.Idx = append(x.Idx, base+derivedDims)
+		x.Val = append(x.Val, info.Churn)
+		if info.DatabaseBytes > 0 {
+			x.Idx = append(x.Idx, base+derivedDims+1)
+			x.Val = append(x.Val, info.Churn*float64(arm.SizeBytes)/float64(info.DatabaseBytes))
+		}
 	}
 	return x
 }

@@ -50,6 +50,15 @@ type TunerOptions struct {
 	// ridge rebase schedule; 0 keeps the linalg default, negative
 	// disables the adaptive schedule (fixed cadence only).
 	RebaseDriftThreshold float64
+	// UpdateAwareContext appends the HTAP update-sensitivity components
+	// (churn exposure + size-weighted churn) to every arm context, so the
+	// bandit can learn to drop high-churn indexes. Off by default:
+	// enabling it changes the context dimensionality, so analytical runs
+	// keep the exact pre-HTAP numbers.
+	UpdateAwareContext bool
+	// ChurnDecay is the per-round decay of the learned table/column churn
+	// statistics. Default 0.5.
+	ChurnDecay float64
 }
 
 func (o TunerOptions) withDefaults() TunerOptions {
@@ -70,6 +79,9 @@ func (o TunerOptions) withDefaults() TunerOptions {
 	}
 	if o.MaxNewIndexesPerRound == 0 {
 		o.MaxNewIndexesPerRound = 6
+	}
+	if o.ChurnDecay <= 0 {
+		o.ChurnDecay = 0.5
 	}
 	return o
 }
@@ -92,11 +104,20 @@ type Tuner struct {
 	round  int
 	dbSize int64
 
+	// Decayed churn statistics of the HTAP regime (context D4/D5): the
+	// fraction of each table's rows recently written by INSERTs
+	// (tableChurn, forcing maintenance on every index of the table) and
+	// per written column by UPDATEs (colChurn, keyed "table.column").
+	tableChurn map[string]float64
+	colChurn   map[string]float64
+
 	// Pending observation state: the arms selected this round and their
-	// contexts, awaiting execution feedback.
+	// contexts, awaiting execution feedback, plus the per-index
+	// maintenance seconds charged by the round's update statements.
 	pendingArms     []*Arm
 	pendingContexts []linalg.SparseVector
 	pendingCreated  map[string]bool // ids materialised this round
+	pendingMaint    map[string]float64
 }
 
 // NewTuner constructs the tuner for a schema. dbSizeBytes is the logical
@@ -105,20 +126,23 @@ func NewTuner(schema *catalog.Schema, dbSizeBytes int64, opts TunerOptions) *Tun
 	opts = opts.withDefaults()
 	ctxb := NewContextBuilder(schema)
 	ctxb.OneHot = opts.OneHotContext
+	ctxb.UpdateDims = opts.UpdateAwareContext
 	store := NewQueryStore()
 	store.Window = opts.QoIWindow
 	bandit := NewC2UCB(ctxb.Dim(), opts.Lambda, opts.Alpha)
 	bandit.SetRebaseSchedule(opts.RebaseEvery, opts.RebaseDriftThreshold)
 	return &Tuner{
-		schema: schema,
-		opts:   opts,
-		bandit: bandit,
-		ctxb:   ctxb,
-		gen:    NewArmGenerator(schema, opts.ArmGen),
-		store:  store,
-		cfg:    index.NewConfig(),
-		usage:  map[string]float64{},
-		dbSize: dbSizeBytes,
+		schema:     schema,
+		opts:       opts,
+		bandit:     bandit,
+		ctxb:       ctxb,
+		gen:        NewArmGenerator(schema, opts.ArmGen),
+		store:      store,
+		cfg:        index.NewConfig(),
+		usage:      map[string]float64{},
+		tableChurn: map[string]float64{},
+		colChurn:   map[string]float64{},
+		dbSize:     dbSizeBytes,
 	}
 }
 
@@ -170,12 +194,16 @@ func (t *Tuner) Recommend(lastWorkload []*query.Query) *Recommendation {
 
 	contexts := make([]linalg.SparseVector, len(arms))
 	for i, a := range arms {
-		contexts[i] = t.ctxb.Build(a, ArmInfo{
+		info := ArmInfo{
 			PredicateColumns: predCols,
 			Materialised:     t.cfg.Has(a.ID()),
 			Usage:            t.usage[a.ID()],
 			DatabaseBytes:    t.dbSize,
-		})
+		}
+		if t.opts.UpdateAwareContext {
+			info.Churn = t.armChurn(a)
+		}
+		contexts[i] = t.ctxb.Build(a, info)
 	}
 	scores := t.bandit.Scores(contexts)
 	existing := map[string]bool{}
@@ -248,6 +276,11 @@ func (t *Tuner) ObserveExecution(stats []*engine.ExecStats, creationSec map[stri
 		if t.pendingCreated[a.ID()] && !t.opts.NoCreationPenalty {
 			r -= creationSec[a.ID()]
 		}
+		// Index maintenance charged by the round's update statements
+		// (HTAP regime; the map is nil on analytical rounds) counts
+		// against the arm that incurred it, so the bandit learns the
+		// true net benefit of holding a high-churn index.
+		r -= t.pendingMaint[a.ID()]
 		rewards[i] = r
 	}
 	t.bandit.Update(t.pendingContexts, rewards)
@@ -256,6 +289,60 @@ func (t *Tuner) ObserveExecution(stats []*engine.ExecStats, creationSec map[stri
 	t.pendingArms = nil
 	t.pendingContexts = nil
 	t.pendingCreated = nil
+	t.pendingMaint = nil
+}
+
+// ObserveUpdates feeds back one round's update statements and the
+// per-index maintenance seconds actually charged (the HTAP regime's
+// write-amplification signal). Call it after Recommend and before
+// ObserveExecution: the charges are folded into the pending arms'
+// rewards, and the statements update the decayed churn statistics that
+// drive the next round's update-sensitivity context components.
+func (t *Tuner) ObserveUpdates(updates []query.Update, perIndexSec map[string]float64) {
+	t.pendingMaint = perIndexSec
+
+	decay := t.opts.ChurnDecay
+	for k := range t.tableChurn {
+		t.tableChurn[k] *= decay
+		if t.tableChurn[k] < 1e-9 {
+			delete(t.tableChurn, k)
+		}
+	}
+	for k := range t.colChurn {
+		t.colChurn[k] *= decay
+		if t.colChurn[k] < 1e-9 {
+			delete(t.colChurn, k)
+		}
+	}
+	for _, u := range updates {
+		meta, ok := t.schema.Table(u.Table)
+		if !ok || meta.RowCount <= 0 {
+			continue
+		}
+		frac := u.Rows / float64(meta.RowCount)
+		if u.Kind == query.UpdateInsert {
+			t.tableChurn[u.Table] += frac
+			continue
+		}
+		for _, c := range u.Columns {
+			t.colChurn[u.Table+"."+c] += frac
+		}
+	}
+}
+
+// armChurn is the arm's churn exposure: INSERT churn on its table (every
+// index pays) plus UPDATE churn on each of its key/include columns.
+func (t *Tuner) armChurn(a *Arm) float64 {
+	churn := t.tableChurn[a.Table]
+	if len(t.colChurn) > 0 {
+		for _, c := range a.Index.Key {
+			churn += t.colChurn[a.Table+"."+c]
+		}
+		for _, c := range a.Index.Include {
+			churn += t.colChurn[a.Table+"."+c]
+		}
+	}
+	return churn
 }
 
 // decayUsage applies the per-round decay and adds 1 for used indexes.

@@ -25,6 +25,12 @@ func newMAB(e Env, p Params) (Policy, error) {
 	if opts.MemoryBudgetBytes == 0 {
 		opts.MemoryBudgetBytes = e.MemoryBudgetBytes()
 	}
+	// Update-capable regimes (HTAP) get the journal extension's
+	// update-sensitivity context components; analytical regimes keep the
+	// exact pre-HTAP context dimensionality.
+	if ue, ok := e.(UpdateEnv); ok && ue.HasUpdates() {
+		opts.UpdateAwareContext = true
+	}
 	tuner := mab.NewTuner(e.Catalog(), e.DataSizeBytes(), opts)
 	if p.MABWarmStartRounds > 0 {
 		warmStartMAB(e, tuner, p.MABWarmStartRounds)
@@ -75,4 +81,13 @@ func (p *mabPolicy) Observe(stats []*engine.ExecStats, creationSec map[string]fl
 	p.tuner.ObserveExecution(stats, creationSec)
 }
 
+// ObserveUpdates implements UpdateAware: the round's update statements
+// feed the tuner's churn statistics and the maintenance charges its
+// reward shaping.
+func (p *mabPolicy) ObserveUpdates(updates []query.Update, perIndexMaintSec map[string]float64) {
+	p.tuner.ObserveUpdates(updates, perIndexMaintSec)
+}
+
 func (p *mabPolicy) Close() {}
+
+var _ UpdateAware = (*mabPolicy)(nil)

@@ -45,7 +45,10 @@ func newPDTool(e Env, p Params) (Policy, error) {
 // per the paper: static — round 2 (after observing round 1); shifting —
 // the round after each of the four groups' first round (2, 22, 42, 62 at
 // 80 rounds); random — every 4 rounds (5, 9, 13, ...), trained on the
-// trailing window.
+// trailing window. The HTAP regime's analytical side is the static
+// workload, so it shares the static schedule — the offline tool tunes
+// once and then pays the maintenance its write-blind configuration
+// incurs, exactly the failure mode the journal follow-up highlights.
 //
 // The shifting schedule partitions total rounds into four groups with
 // the same floor division the shifting sequencer uses for templates, so
@@ -54,7 +57,7 @@ func newPDTool(e Env, p Params) (Policy, error) {
 func InvocationRounds(regime string, total int) map[int]bool {
 	out := map[int]bool{}
 	switch regime {
-	case "static":
+	case "static", "htap":
 		if total >= 2 {
 			out[2] = true
 		}

@@ -76,7 +76,15 @@ func TestInvocationRoundsRandom(t *testing.T) {
 }
 
 func TestInvocationRoundsUnknownRegime(t *testing.T) {
-	if got := InvocationRounds("htap", 40); len(got) != 0 {
+	if got := InvocationRounds("hybrid-oltp", 40); len(got) != 0 {
 		t.Fatalf("unknown regime = %v, want none", sortedRounds(got))
+	}
+}
+
+// The HTAP regime's analytical side is static, so the offline tool
+// shares the static schedule: one invocation at round 2.
+func TestInvocationRoundsHTAP(t *testing.T) {
+	if got := sortedRounds(InvocationRounds("htap", 40)); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("htap schedule = %v, want [2]", got)
 	}
 }

@@ -85,6 +85,32 @@ type Env interface {
 	IndexCreationSec(ix *index.Index) float64
 }
 
+// UpdateAware is an optional Policy extension for regimes whose rounds
+// carry update-shaped statements (HTAP). In such regimes the driver calls
+// ObserveUpdates once per round — after execution and immediately before
+// Observe — with the round's update statements (possibly empty on
+// analytical-only rounds) and the per-index maintenance seconds actually
+// charged. A policy may fold the charges into its reward shaping and the
+// statements into its learned churn statistics. Analytical regimes never
+// call it, so implementing the interface cannot perturb analytical runs.
+type UpdateAware interface {
+	ObserveUpdates(updates []query.Update, perIndexMaintSec map[string]float64)
+}
+
+// UpdateEnv is the optional capability view of environments whose
+// workload regime can issue update statements. It is implemented by
+// *env.Environment; update-aware policy factories type-assert their Env
+// to it, so analytical-only Env implementations need no changes.
+// Deliberately, the interface only reveals THAT updates exist: the
+// statements themselves reach a policy exclusively through
+// UpdateAware.ObserveUpdates after each round executes, so no policy
+// can peek at future churn and gain oracle knowledge its competitors
+// lack.
+type UpdateEnv interface {
+	// HasUpdates reports whether any round can carry updates.
+	HasUpdates() bool
+}
+
 // Params carries the per-strategy knobs an experiment may tune. Unset
 // fields take each adapter's defaults.
 type Params struct {
@@ -96,6 +122,8 @@ type Params struct {
 	MABWarmStartRounds int
 	// DDQNSeed seeds the DDQN agent (repetitions use distinct seeds).
 	DDQNSeed int64
+	// RandomSeed seeds the random-configuration control policy.
+	RandomSeed int64
 	// PDToolTimeLimitSec caps a single PDTool invocation. 0 = unlimited.
 	PDToolTimeLimitSec float64
 }

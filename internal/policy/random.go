@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"math/rand"
+
+	"dbabandits/internal/engine"
+	"dbabandits/internal/index"
+	"dbabandits/internal/mab"
+	"dbabandits/internal/query"
+)
+
+func init() {
+	Register("random", newRandomConfig)
+}
+
+// randomConfig is the random-configuration control: every round it draws
+// a fresh uniformly random subset of the workload's candidate indexes
+// under the memory budget. It is the sanity floor of the comparisons —
+// any learning tuner must beat it, both because random subsets rarely
+// match the workload and because re-drawing every round churns index
+// creations. Like every baseline it is registered through the policy
+// registry alone, with zero driver or harness edits.
+type randomConfig struct {
+	rng    *rand.Rand
+	gen    *mab.ArmGenerator
+	store  *mab.QueryStore
+	budget int64
+	cfg    *index.Config
+}
+
+// randomMaxPerRound caps how many indexes one draw materialises, keeping
+// the control's creation churn (and experiment runtime) bounded; it
+// mirrors the MAB's default per-round throttle.
+const randomMaxPerRound = 6
+
+func newRandomConfig(e Env, p Params) (Policy, error) {
+	seed := p.RandomSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return &randomConfig{
+		rng:    rand.New(rand.NewSource(seed*1_000_003 + 17)),
+		gen:    mab.NewArmGenerator(e.Catalog(), mab.ArmGenOptions{}),
+		store:  mab.NewQueryStore(),
+		budget: e.MemoryBudgetBytes(),
+		cfg:    index.NewConfig(),
+	}, nil
+}
+
+func (p *randomConfig) Name() string { return "random" }
+
+func (p *randomConfig) Recommend(round int, lastWorkload []*query.Query) Recommendation {
+	if len(lastWorkload) == 0 {
+		// Round 1 decides blind, like every policy: keep the (empty)
+		// configuration.
+		return Recommendation{Config: p.cfg}
+	}
+	p.store.Observe(round-1, lastWorkload)
+	arms := p.gen.Generate(p.store.QoI(round - 1))
+
+	next := index.NewConfig()
+	var used int64
+	for _, i := range p.rng.Perm(len(arms)) {
+		if next.Len() >= randomMaxPerRound {
+			break
+		}
+		a := arms[i]
+		if used+a.SizeBytes > p.budget {
+			continue
+		}
+		if next.Add(a.Index) {
+			used += a.SizeBytes
+		}
+	}
+	p.cfg = next
+	// Drawing a subset costs no analysis time: the control models a DBA
+	// picking indexes blindly, so RecommendSec stays zero.
+	return Recommendation{Config: next}
+}
+
+func (p *randomConfig) Observe([]*engine.ExecStats, map[string]float64) {}
+
+func (p *randomConfig) Close() {}

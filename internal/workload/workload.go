@@ -1,8 +1,9 @@
 // Package workload defines the five benchmark suites of the paper's
 // evaluation — TPC-H (uniform), TPC-H Skew, SSB, TPC-DS and JOB/IMDb — as
-// schemas plus templatised query generators, and the three workload
-// regimes (static, dynamic shifting, dynamic random) that sequence them
-// over rounds.
+// schemas plus templatised query generators, and the workload regimes
+// (static, dynamic shifting, dynamic random, and the hybrid
+// transactional/analytical regime of the journal follow-up) that
+// sequence them over rounds.
 //
 // Templates are structural models of the original benchmark queries: the
 // same join shapes, predicate columns and payload widths, instantiated
