@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke htapsmoke cover bench benchsweep benchsmoke ci
+.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke cover bench benchsweep benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,15 @@ htapsmoke:
 	diff .htap_p1.out .htap_p4.out
 	@rm -f .htap_p1.out .htap_p4.out
 
+# Ridge-backend smoke mirroring CI: Figure 2 regenerated once per ridge
+# backend (Sherman–Morrison vs factored Cholesky), stdout byte-compared
+# — the factored path must be a drop-in, not a behaviour change.
+ridgesmoke:
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -ridge sm > .ridge_sm.out
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -ridge chol > .ridge_chol.out
+	diff .ridge_sm.out .ridge_chol.out
+	@rm -f .ridge_sm.out .ridge_chol.out
+
 # Per-package coverage, as published in the CI workflow summary.
 cover:
 	$(GO) test -cover ./...
@@ -47,11 +56,11 @@ cover:
 # cmd/benchjson, so the perf trajectory is tracked in-repo. Compare
 # against BENCH_baseline.json (captured at the pre-sparse-fast-path
 # commit) — see the README's Performance section.
-BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkScoresTPCDS$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$'
+BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$'
 
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem ./... > .bench.out
-	$(GO) run ./cmd/benchjson < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) run ./cmd/benchjson -label ridge=sm < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
 	@rm -f .bench.out
 	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
 
@@ -71,4 +80,4 @@ benchsmoke:
 
 # cover subsumes test (go test -cover runs the full suite), so ci pays
 # for one suite pass plus the race pass, matching the CI workflow.
-ci: fmt vet build cover race smoke htapsmoke benchsmoke
+ci: fmt vet build cover race smoke htapsmoke ridgesmoke benchsmoke

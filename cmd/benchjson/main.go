@@ -7,11 +7,18 @@
 // The GOMAXPROCS suffix (-8 etc.) is stripped from benchmark names and
 // map keys are emitted sorted, so two captures of the same tree differ
 // only where the numbers do.
+//
+// Repeatable -label key=value flags annotate the capture (emitted under
+// "labels"); `make bench` uses them to record the ridge backend the
+// recommend-loop benchmarks ran under, e.g.
+//
+//	go test -bench ... | benchjson -label ridge=sm > BENCH_abc1234.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -29,11 +36,24 @@ type document struct {
 	Goos       string                        `json:"goos,omitempty"`
 	Goarch     string                        `json:"goarch,omitempty"`
 	CPU        string                        `json:"cpu,omitempty"`
+	Labels     map[string]string             `json:"labels,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
 func main() {
 	doc := document{Benchmarks: map[string]map[string]float64{}}
+	flag.Func("label", "annotate the capture with key=value (repeatable)", func(kv string) error {
+		key, value, ok := strings.Cut(kv, "=")
+		if !ok || key == "" {
+			return fmt.Errorf("want key=value, got %q", kv)
+		}
+		if doc.Labels == nil {
+			doc.Labels = map[string]string{}
+		}
+		doc.Labels[key] = value
+		return nil
+	})
+	flag.Parse()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

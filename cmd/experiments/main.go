@@ -19,6 +19,7 @@
 //	experiments -exp htap            # HTAP regime, all online baselines
 //	experiments -exp all -parallel 1 # sequential reference run
 //	experiments -exp all -progress   # per-cell completion lines on stderr
+//	experiments -exp fig2 -ridge chol # factored ridge backend, same output
 package main
 
 import (
@@ -40,6 +41,8 @@ var (
 	parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"max experiment cells run concurrently (output is identical at any value)")
 	progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
+	ridge    = flag.String("ridge", "sm",
+		"MAB ridge backend: sm (Sherman–Morrison inverse) | chol (factored Cholesky); output is identical under either")
 )
 
 var benches = []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
@@ -161,6 +164,7 @@ func cellSpec(bench string, regime harness.Regime, kind harness.TunerKind) harne
 		// The paper caps PDTool at 1 hour per invocation here.
 		opts.PDToolTimeLimitSec = 3600
 	}
+	opts.MABOptions.RidgeBackend = *ridge
 	return harness.CellSpec{Options: opts, Tuner: kind}
 }
 
@@ -225,17 +229,16 @@ func table2() {
 	for _, bench := range []string{"tpch", "tpch-skew"} {
 		for _, factor := range sfs {
 			for _, kind := range []harness.TunerKind{harness.PDTool, harness.MAB} {
-				specs = append(specs, harness.CellSpec{
-					Options: harness.Options{
-						Benchmark:     bench,
-						Regime:        harness.Static,
-						Rounds:        rounds(harness.Static),
-						ScaleFactor:   factor,
-						MaxStoredRows: *rows,
-						Seed:          *seed,
-					},
-					Tuner: kind,
-				})
+				opts := harness.Options{
+					Benchmark:     bench,
+					Regime:        harness.Static,
+					Rounds:        rounds(harness.Static),
+					ScaleFactor:   factor,
+					MaxStoredRows: *rows,
+					Seed:          *seed,
+				}
+				opts.MABOptions.RidgeBackend = *ridge
+				specs = append(specs, harness.CellSpec{Options: opts, Tuner: kind})
 			}
 		}
 	}
@@ -314,16 +317,18 @@ func fig8() {
 				n = 1
 			}
 			for rep := 0; rep < n; rep++ {
+				opts := harness.Options{
+					Benchmark:     bench,
+					Regime:        harness.Static,
+					Rounds:        fig8Rounds,
+					ScaleFactor:   *sf,
+					MaxStoredRows: *rows,
+					Seed:          *seed,
+				}
+				opts.MABOptions.RidgeBackend = *ridge
 				specs = append(specs, harness.CellSpec{
-					Options: harness.Options{
-						Benchmark:     bench,
-						Regime:        harness.Static,
-						Rounds:        fig8Rounds,
-						ScaleFactor:   *sf,
-						MaxStoredRows: *rows,
-						Seed:          *seed,
-					},
-					Tuner: kind,
+					Options: opts,
+					Tuner:   kind,
 					// Rep keys the cell's derived DDQNSeed, so every
 					// repetition is a distinct deterministic agent.
 					Rep: rep,

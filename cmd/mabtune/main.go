@@ -5,6 +5,7 @@
 //
 //	mabtune -bench tpch-skew -regime static -tuner mab -rounds 25 -sf 10
 //	mabtune -bench ssb -tuner noindex,mab,advisor -series
+//	mabtune -bench tpcds -tuner mab -ridge chol
 //
 // Benchmarks: ssb, tpch, tpch-skew, tpcds, imdb.
 // Regimes:    static, shifting, random, htap.
@@ -14,6 +15,11 @@
 // policies registered through the policy registry — such as the online
 // what-if advisor, "advisor" — are selectable here with no harness
 // changes.
+//
+// -ridge selects the MAB's ridge-regression backend: "sm" keeps the
+// default Sherman–Morrison explicit inverse, "chol" the factored
+// Cholesky core (no inverse maintenance; identical recommendations on
+// every pinned workload).
 package main
 
 import (
@@ -32,18 +38,20 @@ func main() {
 		regime = flag.String("regime", "static", "workload regime: static|shifting|random|htap")
 		tuners = flag.String("tuner", "noindex,pdtool,mab",
 			"comma-separated tuners: "+strings.Join(policy.Names(), "|"))
-		rounds  = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
-		sf      = flag.Float64("sf", 10, "scale factor")
-		rows    = flag.Int("rows", 5000, "max stored (physical) rows per table")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		budget  = flag.Float64("budget", 1, "memory budget as a multiple of data size")
+		rounds = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
+		sf     = flag.Float64("sf", 10, "scale factor")
+		rows   = flag.Int("rows", 5000, "max stored (physical) rows per table")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+		budget = flag.Float64("budget", 1, "memory budget as a multiple of data size")
+		ridge  = flag.String("ridge", "sm",
+			"MAB ridge backend: sm (Sherman–Morrison inverse) | chol (factored Cholesky)")
 		series  = flag.Bool("series", false, "print per-round convergence series")
 		csvOut  = flag.Bool("csv", false, "print the series as CSV")
 		pdLimit = flag.Float64("pdtool-limit", 0, "PDTool per-invocation time limit (sec, 0=unlimited)")
 	)
 	flag.Parse()
 
-	exp, err := harness.New(harness.Options{
+	opts := harness.Options{
 		Benchmark:          *bench,
 		Regime:             harness.Regime(*regime),
 		Rounds:             *rounds,
@@ -52,7 +60,9 @@ func main() {
 		Seed:               *seed,
 		MemoryBudgetX:      *budget,
 		PDToolTimeLimitSec: *pdLimit,
-	})
+	}
+	opts.MABOptions.RidgeBackend = *ridge
+	exp, err := harness.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mabtune:", err)
 		os.Exit(1)

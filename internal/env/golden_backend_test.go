@@ -1,0 +1,86 @@
+package env
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/policy"
+)
+
+// TestCholBackendMatchesMABGoldens runs the MAB policy on the factored
+// (Cholesky) ridge backend over every golden workload — static,
+// shifting, random, and HTAP — and requires the RunResult to match the
+// committed Sherman–Morrison fixtures byte for byte. Matching bytes
+// means the factored backend picked the identical arm sequence every
+// round (configurations drive creation, execution, and maintenance
+// accounting) and folded in the same observation count (which drives
+// the modelled recommendation time), i.e. switching backends changes
+// no recommendation on the pinned workloads.
+func TestCholBackendMatchesMABGoldens(t *testing.T) {
+	cases := []struct {
+		regime  Regime
+		rounds  int
+		fixture string
+	}{
+		{Static, 5, "golden_mab.json"},
+		{Shifting, 8, "golden_shifting_mab.json"},
+		{Random, 9, "golden_random_mab.json"},
+		{HTAP, 6, "golden_htap_mab.json"},
+	}
+	for _, c := range cases {
+		e, err := New(Options{
+			Benchmark:     "ssb",
+			Regime:        c.regime,
+			ScaleFactor:   10,
+			MaxStoredRows: 2000,
+			Rounds:        c.rounds,
+			Seed:          7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Opts.MABOptions.RidgeBackend = linalg.BackendChol
+		res, err := e.Run(MAB)
+		if err != nil {
+			t.Fatalf("%s: %v", c.regime, err)
+		}
+		got, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, '\n')
+		want, err := os.ReadFile(filepath.Join("testdata", c.fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: chol-backend RunResult diverged from the sm-captured fixture %s\n got: %s",
+				c.regime, c.fixture, got)
+		}
+	}
+}
+
+// TestRidgeBackendValidatedAtPolicyConstruction pins the error path: a
+// bogus backend name must fail policy construction with a clear error,
+// not panic inside the tuner.
+func TestRidgeBackendValidatedAtPolicyConstruction(t *testing.T) {
+	e, err := New(Options{
+		Benchmark:     "ssb",
+		Regime:        Static,
+		ScaleFactor:   10,
+		MaxStoredRows: 2000,
+		Rounds:        2,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Opts.MABOptions.RidgeBackend = "qr"
+	if _, err := policy.New(string(MAB), e, e.policyParams()); err == nil {
+		t.Fatal("unknown ridge backend constructed a policy")
+	}
+}

@@ -1,0 +1,280 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// CholState is the factored ridge backend: instead of an explicit
+// inverse it maintains the lower-triangular Cholesky factor L of the
+// scatter matrix V_t = lambda*I + sum x x' directly, via the classic
+// rank-1 cholupdate (one Givens-style rotation per column). The
+// coefficient estimate theta = V^{-1} b is computed by two triangular
+// solves and each confidence width sqrt(x' V^{-1} x) = ||L^{-1} x|| by
+// one.
+//
+// Because no inverse is ever formed, there is nothing to drift: every
+// operation is backward-stable on the factor, so the Sherman–Morrison
+// path's drift scoring and periodic exact rebases have no counterpart
+// here. The trade-off is scoring cost — a triangular solve is O(d²)
+// where the explicit-inverse sparse quadratic form is O(nnz²) — which
+// is why BackendSM remains the default and BackendChol is the
+// robustness-first alternative for high-dimensional or long-horizon
+// runs.
+//
+// V is positive definite by construction (lambda > 0, rank-1 additions
+// only), so the diagonal of L stays strictly positive: cholupdate's
+// rotations satisfy r = sqrt(L[k][k]² + w[k]²) >= L[k][k], and Forget
+// scales by sqrt(1-gamma) > 0 before topping the prior back up.
+type CholState struct {
+	Dim    int
+	L      *Matrix // lower-triangular Cholesky factor, V = L L'
+	B      Vector  // response accumulator
+	Lambda float64
+
+	updates int
+
+	// theta memoises V^{-1} b between observations, mirroring the
+	// Sherman–Morrison backend's cache.
+	theta      Vector
+	thetaValid bool
+
+	work Vector // cholupdate rotation vector / solve intermediate
+	xbuf Vector // densified sparse context scratch
+}
+
+// NewCholState initialises L = sqrt(lambda)*I (so V = lambda*I), b = 0.
+func NewCholState(dim int, lambda float64) *CholState {
+	if dim <= 0 {
+		panic(fmt.Sprintf("linalg: ridge dimension must be positive, got %d", dim))
+	}
+	if lambda <= 0 {
+		panic(fmt.Sprintf("linalg: ridge lambda must be positive, got %g", lambda))
+	}
+	return &CholState{
+		Dim:    dim,
+		L:      Identity(dim, math.Sqrt(lambda)),
+		B:      NewVector(dim),
+		Lambda: lambda,
+		work:   NewVector(dim),
+		xbuf:   NewVector(dim),
+	}
+}
+
+// Dimension implements RidgeCore.
+func (cs *CholState) Dimension() int { return cs.Dim }
+
+// Updates reports how many observations have been folded in.
+func (cs *CholState) Updates() int { return cs.updates }
+
+// Theta returns the current coefficient estimate V^{-1} b by a forward
+// solve L y = b and a back solve L' theta = y, memoised between
+// observations. The returned vector is owned by the state and valid
+// until the next Observe/ObserveSparse/Forget; callers must not mutate
+// it.
+func (cs *CholState) Theta() Vector {
+	if !cs.thetaValid {
+		y := cs.L.ForwardSolve(cs.B)
+		cs.theta = cs.L.BackSolveTransposed(y)
+		cs.thetaValid = true
+	}
+	return cs.theta
+}
+
+// ThetaCached implements RidgeCore; it is Theta (already memoised).
+func (cs *CholState) ThetaCached() Vector { return cs.Theta() }
+
+// Observe folds one (context, reward) observation into the state:
+// b += r x and L <- cholupdate(L, x), so V = L L' absorbs + x x'.
+func (cs *CholState) Observe(x Vector, reward float64) {
+	if len(x) != cs.Dim {
+		panic(fmt.Sprintf("linalg: ridge observe dimension %d, want %d", len(x), cs.Dim))
+	}
+	cs.B.AddScaled(reward, x)
+	copy(cs.work, x)
+	cs.cholUpdate()
+	cs.updates++
+	cs.thetaValid = false
+}
+
+// ObserveSparse is Observe for a sparse context, bit-identical to
+// Observe on the same logical vector (the rotation loop skips columns
+// whose working entry is zero, which covers the sparsity before any
+// fill-in occurs).
+func (cs *CholState) ObserveSparse(x SparseVector, reward float64) {
+	if x.Dim != cs.Dim {
+		panic(fmt.Sprintf("linalg: ridge observe dimension %d, want %d", x.Dim, cs.Dim))
+	}
+	cs.B.AddScaledSparse(reward, x)
+	for i := range cs.work {
+		cs.work[i] = 0
+	}
+	for k, i := range x.Idx {
+		cs.work[i] = x.Val[k]
+	}
+	cs.cholUpdate()
+	cs.updates++
+	cs.thetaValid = false
+}
+
+// cholUpdate applies the rank-1 update V <- V + w w' directly to the
+// factor (LINPACK dchud form): for each column k it builds the rotation
+// eliminating w[k] against L[k][k] and carries it down the column.
+// Consumes cs.work (the caller loads w into it; it is scratch
+// afterwards). Columns with w[k] == 0 rotate by the identity and are
+// skipped, so a sparse w costs O((d-k0)·d) with k0 its first non-zero.
+func (cs *CholState) cholUpdate() {
+	n := cs.Dim
+	w := cs.work
+	data := cs.L.Data
+	for k := 0; k < n; k++ {
+		wk := w[k]
+		if wk == 0 {
+			continue
+		}
+		lkk := data[k*n+k]
+		r := math.Sqrt(lkk*lkk + wk*wk)
+		c := r / lkk
+		s := wk / lkk
+		data[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			lik := (data[i*n+k] + s*w[i]) / c
+			w[i] = c*w[i] - s*lik
+			data[i*n+k] = lik
+		}
+	}
+}
+
+// ConfidenceWidth returns sqrt(x' V^{-1} x) = ||L^{-1} x|| by one
+// forward solve. quadSolve only reads its right-hand side, so x is
+// passed directly (xbuf must stay all-zero for the sparse paths).
+func (cs *CholState) ConfidenceWidth(x Vector) float64 {
+	if len(x) != cs.Dim {
+		panic(fmt.Sprintf("linalg: width dimension %d, want %d", len(x), cs.Dim))
+	}
+	return widthFromQuad(cs.quadSolve(x, 0))
+}
+
+// ConfidenceWidthSparse is ConfidenceWidth for a sparse context; the
+// solve starts at the context's first non-zero index (all earlier
+// intermediate entries are exactly zero).
+func (cs *CholState) ConfidenceWidthSparse(x SparseVector) float64 {
+	return widthFromQuad(cs.quadSparse(x))
+}
+
+// QuadraticFormBatch computes x' V^{-1} x for every context into out in
+// one pass, reusing the solve scratch across arms — the per-arm
+// triangular solve without per-arm allocation.
+func (cs *CholState) QuadraticFormBatch(xs []SparseVector, out []float64) {
+	if len(xs) != len(out) {
+		panic(fmt.Sprintf("linalg: batch length mismatch %d contexts, %d outputs", len(xs), len(out)))
+	}
+	for i, x := range xs {
+		out[i] = cs.quadSparse(x)
+	}
+}
+
+// ConfidenceWidthBatch computes sqrt(x' V^{-1} x) for every context into
+// out; each entry is bit-identical to ConfidenceWidthSparse.
+func (cs *CholState) ConfidenceWidthBatch(xs []SparseVector, out []float64) {
+	cs.QuadraticFormBatch(xs, out)
+	for i, q := range out {
+		out[i] = widthFromQuad(q)
+	}
+}
+
+// quadSparse scatters x into the dense scratch and solves from its
+// first non-zero row, restoring the scratch to zero afterwards.
+func (cs *CholState) quadSparse(x SparseVector) float64 {
+	if x.Dim != cs.Dim {
+		panic(fmt.Sprintf("linalg: width dimension %d, want %d", x.Dim, cs.Dim))
+	}
+	if len(x.Idx) == 0 {
+		return 0
+	}
+	for k, i := range x.Idx {
+		cs.xbuf[i] = x.Val[k]
+	}
+	q := cs.quadSolve(cs.xbuf, x.Idx[0])
+	for _, i := range x.Idx {
+		cs.xbuf[i] = 0
+	}
+	return q
+}
+
+// quadSolve computes ||L^{-1} b||² for the right-hand side b, which must
+// be zero before row start. The intermediate z = L^{-1} b lands in
+// cs.work; b is left untouched above start and overwritten is avoided
+// entirely (b is read-only here).
+func (cs *CholState) quadSolve(b Vector, start int) float64 {
+	n := cs.Dim
+	z := cs.work
+	data := cs.L.Data
+	var q float64
+	for i := start; i < n; i++ {
+		sum := b[i]
+		row := data[i*n+start : i*n+i]
+		for k, v := range row {
+			sum -= v * z[start+k]
+		}
+		zi := sum / data[i*n+i]
+		z[i] = zi
+		q += zi * zi
+	}
+	return q
+}
+
+// Forget discounts accumulated knowledge toward the prior by factor
+// gamma in [0, 1], matching the Sherman–Morrison backend's semantics:
+// V <- (1-gamma)*V + gamma*lambda*I, b <- (1-gamma)*b. On the factor
+// this is a scale by sqrt(1-gamma) followed by one diagonal cholupdate
+// per dimension (each skips all columns before its non-zero, so the
+// total is one Cholesky-refactorisation's worth of work — and Forget
+// only runs on detected workload shifts).
+func (cs *CholState) Forget(gamma float64) {
+	if gamma <= 0 {
+		return
+	}
+	if gamma >= 1 {
+		cs.L = Identity(cs.Dim, math.Sqrt(cs.Lambda))
+		cs.B = NewVector(cs.Dim)
+		cs.thetaValid = false
+		return
+	}
+	keep := 1 - gamma
+	cs.L.ScaleInPlace(math.Sqrt(keep))
+	cs.B.Scale(keep)
+	add := math.Sqrt(gamma * cs.Lambda)
+	for i := 0; i < cs.Dim; i++ {
+		for j := range cs.work {
+			cs.work[j] = 0
+		}
+		cs.work[i] = add
+		cs.cholUpdate()
+	}
+	cs.thetaValid = false
+}
+
+// Scatter reconstructs the scatter matrix V = L L' (tests and
+// diagnostics; the hot paths never form it).
+func (cs *CholState) Scatter() *Matrix {
+	n := cs.Dim
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			m := j
+			if i < j {
+				m = i
+			}
+			for k := 0; k <= m; k++ {
+				s += cs.L.Data[i*n+k] * cs.L.Data[j*n+k]
+			}
+			v.Data[i*n+j] = s
+		}
+	}
+	return v
+}
+
+// Factor exposes the maintained Cholesky factor (tests/diagnostics).
+func (cs *CholState) Factor() *Matrix { return cs.L }

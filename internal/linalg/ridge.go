@@ -31,9 +31,17 @@ type RidgeState struct {
 	B      Vector  // response accumulator
 	Lambda float64
 
-	updates     int
+	updates     int     // observations folded in over the state's lifetime
+	sinceRebase int     // rank-1 updates applied since the last rebase
 	drift       float64 // accumulated q/(1+q) since the last rebase
-	RebaseEvery int     // fixed fallback cadence; 0 means the default (256)
+
+	// theta memoises V^{-1} b between observations; thetaValid is
+	// cleared whenever V or b change (Observe/ObserveSparse/Forget) and
+	// on rebase (the recomputed inverse changes theta's low-order bits).
+	theta      Vector
+	thetaValid bool
+
+	RebaseEvery int // fixed fallback cadence; 0 means the default (256)
 	// DriftThreshold triggers an adaptive rebase once the accumulated
 	// drift score reaches it. 0 means the default (48); negative disables
 	// the adaptive schedule, leaving only the fixed cadence.
@@ -62,9 +70,24 @@ func NewRidgeState(dim int, lambda float64) *RidgeState {
 	}
 }
 
-// Theta solves for the current coefficient estimate V^{-1} b using the
-// maintained inverse (cheap: one mat-vec).
-func (rs *RidgeState) Theta() Vector { return rs.VInv.MulVec(rs.B) }
+// Theta returns the current coefficient estimate V^{-1} b using the
+// maintained inverse, memoised between observations: the dense mat-vec
+// runs at most once per state change, however many scoring passes ask.
+// The returned vector is owned by the state and valid until the next
+// Observe/ObserveSparse/Forget; callers must not mutate it.
+func (rs *RidgeState) Theta() Vector {
+	if !rs.thetaValid {
+		rs.theta = rs.VInv.MulVec(rs.B)
+		rs.thetaValid = true
+	}
+	return rs.theta
+}
+
+// ThetaCached implements RidgeCore; it is Theta (already memoised).
+func (rs *RidgeState) ThetaCached() Vector { return rs.Theta() }
+
+// Dimension implements RidgeCore.
+func (rs *RidgeState) Dimension() int { return rs.Dim }
 
 // ConfidenceWidth returns sqrt(x' V^{-1} x), the exploration-boost term of
 // the UCB score for context x.
@@ -76,6 +99,28 @@ func (rs *RidgeState) ConfidenceWidth(x Vector) float64 {
 // quadratic form; bit-identical to the dense path.
 func (rs *RidgeState) ConfidenceWidthSparse(x SparseVector) float64 {
 	return widthFromQuad(rs.VInv.QuadraticFormSparse(x))
+}
+
+// QuadraticFormBatch computes x' V^{-1} x for every context into out in
+// one pass over the maintained inverse — the per-arm kernel entry
+// amortised across the whole candidate batch. Each entry is
+// bit-identical to VInv.QuadraticFormSparse on the same context.
+func (rs *RidgeState) QuadraticFormBatch(xs []SparseVector, out []float64) {
+	if len(xs) != len(out) {
+		panic(fmt.Sprintf("linalg: batch length mismatch %d contexts, %d outputs", len(xs), len(out)))
+	}
+	for i, x := range xs {
+		out[i] = rs.VInv.QuadraticFormSparse(x)
+	}
+}
+
+// ConfidenceWidthBatch computes sqrt(x' V^{-1} x) for every context into
+// out; each entry is bit-identical to ConfidenceWidthSparse.
+func (rs *RidgeState) ConfidenceWidthBatch(xs []SparseVector, out []float64) {
+	rs.QuadraticFormBatch(xs, out)
+	for i, q := range out {
+		out[i] = widthFromQuad(q)
+	}
 }
 
 func widthFromQuad(q float64) float64 {
@@ -125,8 +170,19 @@ func (rs *RidgeState) ObserveSparse(x SparseVector, reward float64) {
 // afterRank1 advances the update counters and runs whichever rebase
 // schedule fires first. denom is the Sherman–Morrison denominator
 // 1 + x'V^{-1}x of the update just applied.
+//
+// Both schedules are measured since the last rebase: sinceRebase counts
+// the rank-1 updates the current inverse has absorbed (reset by every
+// rebase, including Forget's), while updates counts observations over
+// the state's lifetime and never resets. Before the counters were
+// separated, the fixed cadence ran on updates%RebaseEvery, so a
+// Forget- or drift-triggered rebase left the cadence phase-locked to
+// the lifetime count — a fresh inverse could be rebased again almost
+// immediately, or ride out nearly 2x the intended window.
 func (rs *RidgeState) afterRank1(denom float64) {
 	rs.updates++
+	rs.sinceRebase++
+	rs.thetaValid = false
 	rs.drift += 1 - 1/denom // == q/(1+q)
 	every := rs.RebaseEvery
 	if every == 0 {
@@ -136,7 +192,7 @@ func (rs *RidgeState) afterRank1(denom float64) {
 	if threshold == 0 {
 		threshold = defaultDriftThreshold
 	}
-	if rs.updates%every == 0 || (threshold > 0 && rs.drift >= threshold) {
+	if rs.sinceRebase >= every || (threshold > 0 && rs.drift >= threshold) {
 		rs.rebase()
 	}
 }
@@ -169,9 +225,12 @@ func (rs *RidgeState) Forget(gamma float64) {
 }
 
 // rebase recomputes VInv from V exactly, discarding Sherman–Morrison
-// drift, and zeroes the drift score.
+// drift, and zeroes both since-rebase measures (the drift score and the
+// update counter the fixed cadence runs on).
 func (rs *RidgeState) rebase() {
 	rs.drift = 0
+	rs.sinceRebase = 0
+	rs.thetaValid = false
 	rs.V.SymmetrizeInPlace()
 	inv, err := rs.V.Inverse()
 	if err != nil {
@@ -186,8 +245,15 @@ func (rs *RidgeState) rebase() {
 	rs.VInv = inv
 }
 
-// Updates reports how many observations have been folded in.
+// Updates reports how many observations have been folded in over the
+// state's lifetime. Forget and rebase do not reset it.
 func (rs *RidgeState) Updates() int { return rs.updates }
+
+// SinceRebase reports how many rank-1 updates the current inverse has
+// absorbed since the last exact recomputation — the quantity both
+// rebase schedules are measured against. Any rebase (fixed-cadence,
+// drift-triggered, or Forget's) resets it to zero.
+func (rs *RidgeState) SinceRebase() int { return rs.sinceRebase }
 
 // Drift reports the accumulated drift score since the last rebase
 // (diagnostics and tests).

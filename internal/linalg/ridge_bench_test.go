@@ -73,6 +73,63 @@ func BenchmarkRidgeObserveScoreSparse(b *testing.B) {
 	}
 }
 
+// BenchmarkThetaCached measures the memoised theta read at the TPC-DS
+// context dimension (83): between observations every call after the
+// first is a cache hit, which is exactly the repeated same-round
+// profile C2UCB.Scores/ExpectedScores have. Compare
+// BenchmarkThetaRecompute for what each of those calls paid before the
+// memo.
+func BenchmarkThetaCached(b *testing.B) {
+	const dim = 83
+	contexts := SparseAll(benchContexts(dim, 32, 1))
+	rs := NewRidgeState(dim, 0.25)
+	for _, x := range contexts {
+		rs.ObserveSparse(x, 1.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rs.ThetaCached()[0]
+	}
+	benchSink = sink
+}
+
+// BenchmarkThetaRecompute is the dense V^{-1}b mat-vec the memo
+// amortises — the per-call cost of the pre-memo Theta().
+func BenchmarkThetaRecompute(b *testing.B) {
+	const dim = 83
+	contexts := SparseAll(benchContexts(dim, 32, 1))
+	rs := NewRidgeState(dim, 0.25)
+	for _, x := range contexts {
+		rs.ObserveSparse(x, 1.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += rs.VInv.MulVec(rs.B)[0]
+	}
+	benchSink = sink
+}
+
+// BenchmarkCholObserve measures the factored backend's rank-1
+// cholupdate on sparse contexts at the TPC-DS dimension — the cost that
+// replaces the Sherman–Morrison dense outer update plus its share of
+// drift-triggered exact rebases (the factored path has neither).
+func BenchmarkCholObserve(b *testing.B) {
+	const dim = 83
+	contexts := SparseAll(benchContexts(dim, 48, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := NewCholState(dim, 0.25)
+		for _, x := range contexts {
+			cs.ObserveSparse(x, 1.0)
+		}
+	}
+}
+
 // BenchmarkRidgeForget measures shift-scaled forgetting (scatter-matrix
 // discount plus the Cholesky rebase), which runs on every detected
 // workload shift.

@@ -1,0 +1,141 @@
+package mab
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dbabandits/internal/engine"
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/optimizer"
+)
+
+// TestBackendsAgreeOnScores is the score-level cross-backend property
+// test: on randomized workloads the factored backend's UCB scores must
+// agree with the Sherman–Morrison backend's within 1e-8 — close enough
+// that the two bandits rank arms identically except at exact ties.
+func TestBackendsAgreeOnScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const dim = 40
+	sm, err := NewC2UCBBackend(linalg.BackendSM, dim, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := NewC2UCBBackend(linalg.BackendChol, dim, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randomContexts := func(n int) []linalg.SparseVector {
+		out := make([]linalg.SparseVector, n)
+		for i := range out {
+			x := linalg.NewVector(dim)
+			for k := 0; k < 6; k++ {
+				x[rng.Intn(dim)] = rng.NormFloat64()
+			}
+			out[i] = linalg.SparseFromDense(x)
+		}
+		return out
+	}
+	for round := 0; round < 30; round++ {
+		sm.BeginRound()
+		chol.BeginRound()
+		ctxs := randomContexts(24)
+		sScores, cScores := sm.Scores(ctxs), chol.Scores(ctxs)
+		for i := range sScores {
+			if d := math.Abs(sScores[i] - cScores[i]); d > 1e-8*(1+math.Abs(sScores[i])) {
+				t.Fatalf("round %d arm %d: sm score %g, chol score %g", round, i, sScores[i], cScores[i])
+			}
+		}
+		played := ctxs[:4]
+		rewards := make([]float64, len(played))
+		for i := range rewards {
+			rewards[i] = rng.NormFloat64() * 50
+		}
+		sm.Update(played, rewards)
+		chol.Update(played, rewards)
+		if round%10 == 9 {
+			sm.Forget(0.5)
+			chol.Forget(0.5)
+		}
+	}
+}
+
+// TestBackendsPickIdenticalArmSequencesTPCDS runs the full tuner for 25
+// rounds at TPC-DS scale — the paper's hardest arm-count regime — on
+// both ridge backends and requires the identical arm-selection sequence
+// round for round: materialisations, drops, and the final configuration
+// all match, making the factored backend a drop-in replacement.
+func TestBackendsPickIdenticalArmSequencesTPCDS(t *testing.T) {
+	const rounds = 25
+	schema, db, wls := tpcdsBenchFixture(t, rounds)
+	dbSize := db.DataSizeBytes()
+	cm := engine.DefaultCostModel()
+	opt := optimizer.New(schema, cm)
+
+	run := func(backend string) ([][]string, []string) {
+		tuner := NewTuner(schema, dbSize, TunerOptions{
+			MemoryBudgetBytes: dbSize,
+			RidgeBackend:      backend,
+		})
+		var seq [][]string
+		for r := 0; r < rounds; r++ {
+			rec := tuner.Recommend(wls[r])
+			seq = append(seq, rec.Config.IDs())
+			var stats []*engine.ExecStats
+			for _, q := range wls[r] {
+				plan, err := opt.ChoosePlan(q, rec.Config)
+				if err != nil {
+					t.Fatalf("plan: %v", err)
+				}
+				st, err := engine.Execute(db, plan, cm)
+				if err != nil {
+					t.Fatalf("execute: %v", err)
+				}
+				stats = append(stats, st)
+			}
+			creation := map[string]float64{}
+			for _, ix := range rec.ToCreate {
+				meta := schema.MustTable(ix.Table)
+				creation[ix.ID()] = cm.IndexBuildSec(meta, ix.SizeBytes(meta))
+			}
+			tuner.ObserveExecution(stats, creation)
+		}
+		return seq, tuner.Config().IDs()
+	}
+
+	smSeq, smFinal := run(linalg.BackendSM)
+	cholSeq, cholFinal := run(linalg.BackendChol)
+	for r := range smSeq {
+		if !reflect.DeepEqual(smSeq[r], cholSeq[r]) {
+			t.Fatalf("round %d: backends diverged\n sm:   %v\n chol: %v", r+1, smSeq[r], cholSeq[r])
+		}
+	}
+	if !reflect.DeepEqual(smFinal, cholFinal) {
+		t.Fatalf("final configurations diverged:\n sm:   %v\n chol: %v", smFinal, cholFinal)
+	}
+}
+
+// TestTunerBackendThreading pins the option plumbing: the backend named
+// in TunerOptions is the backend the bandit runs on, and an unknown
+// name fails fast.
+func TestTunerBackendThreading(t *testing.T) {
+	schema, db, _ := tpcdsBenchFixture(t, 1)
+	dbSize := db.DataSizeBytes()
+	for _, backend := range []string{"", linalg.BackendSM, linalg.BackendChol} {
+		tuner := NewTuner(schema, dbSize, TunerOptions{RidgeBackend: backend})
+		want := backend
+		if want == "" {
+			want = linalg.BackendSM
+		}
+		if got := tuner.Bandit().Backend(); got != want {
+			t.Fatalf("RidgeBackend %q built bandit backend %q", backend, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown backend did not panic")
+		}
+	}()
+	NewTuner(schema, dbSize, TunerOptions{RidgeBackend: "qr"})
+}

@@ -8,6 +8,7 @@ import (
 	"dbabandits/internal/datagen"
 	"dbabandits/internal/linalg"
 	"dbabandits/internal/query"
+	"dbabandits/internal/storage"
 	"dbabandits/internal/workload"
 )
 
@@ -15,7 +16,7 @@ import (
 // arm-count regime runs on: the full snowflake schema (every schema
 // column is one context dimension) and per-round workloads that invoke
 // all 99 templates, exactly like the static sequencer.
-func tpcdsBenchFixture(b *testing.B, rounds int) (*catalog.Schema, int64, [][]*query.Query) {
+func tpcdsBenchFixture(b testing.TB, rounds int) (*catalog.Schema, *storage.Database, [][]*query.Query) {
 	b.Helper()
 	bench, err := workload.ByName("tpcds")
 	if err != nil {
@@ -33,7 +34,7 @@ func tpcdsBenchFixture(b *testing.B, rounds int) (*catalog.Schema, int64, [][]*q
 			wls[r] = append(wls[r], ts.Instantiate(rng, db, bench.Name))
 		}
 	}
-	return schema, db.DataSizeBytes(), wls
+	return schema, db, wls
 }
 
 // BenchmarkTunerRecommendTPCDS measures the full recommend loop — query
@@ -44,7 +45,8 @@ func tpcdsBenchFixture(b *testing.B, rounds int) (*catalog.Schema, int64, [][]*q
 // profile the per-round overhead of Table I is quoted against.
 func BenchmarkTunerRecommendTPCDS(b *testing.B) {
 	const rounds = 4
-	schema, dbSize, wls := tpcdsBenchFixture(b, rounds)
+	schema, db, wls := tpcdsBenchFixture(b, rounds)
+	dbSize := db.DataSizeBytes()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -60,8 +62,15 @@ func BenchmarkTunerRecommendTPCDS(b *testing.B) {
 // warmed bandit (VInv no longer diagonal — the realistic steady-state
 // shape for the quadratic form).
 func tpcdsScoresFixture(b *testing.B) (*C2UCB, []linalg.SparseVector, int) {
+	return tpcdsScoresFixtureBackend(b, linalg.BackendSM)
+}
+
+// tpcdsScoresFixtureBackend is tpcdsScoresFixture on the named ridge
+// backend.
+func tpcdsScoresFixtureBackend(b *testing.B, backend string) (*C2UCB, []linalg.SparseVector, int) {
 	b.Helper()
-	schema, dbSize, wls := tpcdsBenchFixture(b, 1)
+	schema, db, wls := tpcdsBenchFixture(b, 1)
+	dbSize := db.DataSizeBytes()
 	ctxb := NewContextBuilder(schema)
 	gen := NewArmGenerator(schema, ArmGenOptions{})
 	arms := gen.Generate(wls[0])
@@ -73,7 +82,10 @@ func tpcdsScoresFixture(b *testing.B) (*C2UCB, []linalg.SparseVector, int) {
 			DatabaseBytes:    dbSize,
 		})
 	}
-	bandit := NewC2UCB(ctxb.Dim(), 0.25, nil)
+	bandit, err := NewC2UCBBackend(backend, ctxb.Dim(), 0.25, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
 	bandit.BeginRound()
 	for r := 0; r < 4; r++ {
 		bandit.Update(ctxs[:8], make([]float64, 8))
@@ -96,6 +108,28 @@ func BenchmarkScoresTPCDS(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(ctxs)), "arms")
 	b.ReportMetric(float64(dim), "dim")
+}
+
+// BenchmarkScoresBatch measures the Tuner.Recommend-path arm-set
+// scoring — C2UCB.Scores over every TPC-DS candidate arm — per ridge
+// backend, in the steady state Scores actually runs in (theta memoised
+// since the round's last observation, widths in one batched pass).
+// Compare the sm number against BenchmarkScoresTPCDS in
+// BENCH_1cd7608.json (13.8µs, 2 allocs: the pre-batch per-arm loop that
+// recomputed theta every call) and the 15.4µs PR 3 README headline.
+func BenchmarkScoresBatch(b *testing.B) {
+	for _, backend := range linalg.RidgeBackends() {
+		b.Run(backend, func(b *testing.B) {
+			bandit, ctxs, dim := tpcdsScoresFixtureBackend(b, backend)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bandit.Scores(ctxs)
+			}
+			b.ReportMetric(float64(len(ctxs)), "arms")
+			b.ReportMetric(float64(dim), "dim")
+		})
+	}
 }
 
 // BenchmarkScoresSparse times just the sparse scoring kernels (theta

@@ -1,6 +1,8 @@
 package mab
 
 import (
+	"fmt"
+
 	"dbabandits/internal/catalog"
 	"dbabandits/internal/engine"
 	"dbabandits/internal/index"
@@ -43,6 +45,13 @@ type TunerOptions struct {
 	// MaxNewIndexesPerRound throttles materialisations per round (see
 	// SelectSuperArmThrottled). Default 6; negative disables throttling.
 	MaxNewIndexesPerRound int
+	// RidgeBackend selects the ridge-regression core: linalg.BackendSM
+	// (Sherman–Morrison explicit inverse, the default — every golden was
+	// captured under it) or linalg.BackendChol (factored Cholesky
+	// maintenance, no inverse and no rebase machinery). "" means the
+	// default. NewTuner panics on an unknown name; callers taking
+	// user input should validate with linalg.ValidRidgeBackend first.
+	RidgeBackend string
 	// RebaseEvery is the fixed fallback cadence of the ridge inverse's
 	// exact recomputation; 0 keeps the linalg default (256).
 	RebaseEvery int
@@ -129,7 +138,10 @@ func NewTuner(schema *catalog.Schema, dbSizeBytes int64, opts TunerOptions) *Tun
 	ctxb.UpdateDims = opts.UpdateAwareContext
 	store := NewQueryStore()
 	store.Window = opts.QoIWindow
-	bandit := NewC2UCB(ctxb.Dim(), opts.Lambda, opts.Alpha)
+	bandit, err := NewC2UCBBackend(opts.RidgeBackend, ctxb.Dim(), opts.Lambda, opts.Alpha)
+	if err != nil {
+		panic(fmt.Sprintf("mab: %v", err))
+	}
 	bandit.SetRebaseSchedule(opts.RebaseEvery, opts.RebaseDriftThreshold)
 	return &Tuner{
 		schema:     schema,
