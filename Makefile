@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke cover bench benchsweep benchsmoke ci
+.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke cover bench benchsweep benchsmoke ci
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent code (worker pool + harness)
-# and the policy/env layers every experiment cell drives.
+# and the policy/env/serve layers every experiment cell and serving
+# session drives.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/harness/... ./internal/policy/... ./internal/env/...
+	$(GO) test -race ./internal/runner/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/...
 
 # Fails when any file needs gofmt, listing the offenders.
 fmt:
@@ -46,6 +47,24 @@ ridgesmoke:
 	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -ridge chol > .ridge_chol.out
 	diff .ridge_sm.out .ridge_chol.out
 	@rm -f .ridge_sm.out .ridge_chol.out
+
+# Serving-mode smoke mirroring CI: serve a 5-window stream to the end,
+# then serve it again but kill the process at a window-3 checkpoint and
+# restore from disk — the stitched kill-and-restore output must match
+# the uninterrupted run byte for byte (only the process-local Served
+# counter in the summary line is masked).
+servesmoke:
+	@printf '1 2 3 4\n2 3 1\n5 5 2\n1 4\n3 2 1\n' > .serve_stream.txt
+	$(GO) run ./cmd/serve -stream .serve_stream.txt > .serve_full.out
+	$(GO) run ./cmd/serve -stream .serve_stream.txt -checkpoint .serve.ckpt -stop-after 3 > .serve_head.out
+	$(GO) run ./cmd/serve -restore -stream .serve_stream.txt -checkpoint .serve.ckpt > .serve_tail.out
+	head -n 3 .serve_head.out > .serve_stitch.out
+	head -n 2 .serve_tail.out >> .serve_stitch.out
+	head -n 5 .serve_full.out | diff - .serve_stitch.out
+	tail -n 1 .serve_full.out | sed 's/"Served":[0-9]*/"Served":0/' > .serve_sum_full.out
+	tail -n 1 .serve_tail.out | sed 's/"Served":[0-9]*/"Served":0/' > .serve_sum_tail.out
+	diff .serve_sum_full.out .serve_sum_tail.out
+	@rm -f .serve_stream.txt .serve.ckpt .serve_full.out .serve_head.out .serve_tail.out .serve_stitch.out .serve_sum_full.out .serve_sum_tail.out
 
 # Per-package coverage, as published in the CI workflow summary.
 cover:
@@ -80,4 +99,4 @@ benchsmoke:
 
 # cover subsumes test (go test -cover runs the full suite), so ci pays
 # for one suite pass plus the race pass, matching the CI workflow.
-ci: fmt vet build cover race smoke htapsmoke ridgesmoke benchsmoke
+ci: fmt vet build cover race smoke htapsmoke ridgesmoke servesmoke benchsmoke

@@ -19,11 +19,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"flag"
-	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 	"strings"
+
+	"dbabandits/internal/cli"
 )
 
 // benchLine matches one result row: name, run count, then (value, unit)
@@ -42,18 +43,9 @@ type document struct {
 
 func main() {
 	doc := document{Benchmarks: map[string]map[string]float64{}}
-	flag.Func("label", "annotate the capture with key=value (repeatable)", func(kv string) error {
-		key, value, ok := strings.Cut(kv, "=")
-		if !ok || key == "" {
-			return fmt.Errorf("want key=value, got %q", kv)
-		}
-		if doc.Labels == nil {
-			doc.Labels = map[string]string{}
-		}
-		doc.Labels[key] = value
-		return nil
-	})
+	labels := cli.Labels(flag.CommandLine)
 	flag.Parse()
+	doc.Labels = labels()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -92,13 +84,11 @@ func main() {
 		doc.Benchmarks[name] = metrics
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		cli.Fatal("benchjson", err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		cli.Fatal("benchjson", err)
 	}
 }

@@ -26,23 +26,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
+	"dbabandits/internal/cli"
 	"dbabandits/internal/harness"
 )
 
 var (
-	seed     = flag.Int64("seed", 1, "experiment seed")
-	sf       = flag.Float64("sf", 10, "scale factor for scalable benchmarks")
-	rows     = flag.Int("rows", 5000, "max stored rows per table")
-	reps     = flag.Int("reps", 3, "repetitions for the RL comparison (paper: 10)")
-	quick    = flag.Bool("quick", false, "shrink rounds for a fast smoke run")
-	parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
-		"max experiment cells run concurrently (output is identical at any value)")
-	progress = flag.Bool("progress", false, "print per-cell completion lines to stderr")
-	ridge    = flag.String("ridge", "sm",
-		"MAB ridge backend: sm (Sherman–Morrison inverse) | chol (factored Cholesky); output is identical under either")
+	sf, rows, seed     = cli.Data(flag.CommandLine)
+	ridge              = cli.Ridge(flag.CommandLine)
+	parallel, progress = cli.Parallel(flag.CommandLine)
+
+	reps  = flag.Int("reps", 3, "repetitions for the RL comparison (paper: 10)")
+	quick = flag.Bool("quick", false, "shrink rounds for a fast smoke run")
 )
 
 var benches = []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
@@ -50,6 +46,9 @@ var benches = []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
 func main() {
 	exps := flag.String("exp", "all", "comma-separated: fig2,fig3,fig4,fig5,fig6,fig7,table1,table2,fig8,htap,all")
 	flag.Parse()
+	if err := cli.CheckRidge(*ridge); err != nil {
+		cli.Fatal("experiments", err)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {

@@ -28,28 +28,30 @@ import (
 	"os"
 	"strings"
 
+	"dbabandits/internal/cli"
 	"dbabandits/internal/harness"
 	"dbabandits/internal/policy"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "tpch", "benchmark: ssb|tpch|tpch-skew|tpcds|imdb")
+		bench          = cli.Bench(flag.CommandLine, "tpch")
+		sf, rows, seed = cli.Data(flag.CommandLine)
+		budget         = cli.Budget(flag.CommandLine)
+		ridge          = cli.Ridge(flag.CommandLine)
+
 		regime = flag.String("regime", "static", "workload regime: static|shifting|random|htap")
 		tuners = flag.String("tuner", "noindex,pdtool,mab",
 			"comma-separated tuners: "+strings.Join(policy.Names(), "|"))
-		rounds = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
-		sf     = flag.Float64("sf", 10, "scale factor")
-		rows   = flag.Int("rows", 5000, "max stored (physical) rows per table")
-		seed   = flag.Int64("seed", 1, "experiment seed")
-		budget = flag.Float64("budget", 1, "memory budget as a multiple of data size")
-		ridge  = flag.String("ridge", "sm",
-			"MAB ridge backend: sm (Sherman–Morrison inverse) | chol (factored Cholesky)")
+		rounds  = flag.Int("rounds", 0, "rounds (0 = regime default: 25 static/random, 80 shifting)")
 		series  = flag.Bool("series", false, "print per-round convergence series")
 		csvOut  = flag.Bool("csv", false, "print the series as CSV")
 		pdLimit = flag.Float64("pdtool-limit", 0, "PDTool per-invocation time limit (sec, 0=unlimited)")
 	)
 	flag.Parse()
+	if err := cli.CheckRidge(*ridge); err != nil {
+		cli.Fatal("mabtune", err)
+	}
 
 	opts := harness.Options{
 		Benchmark:          *bench,
@@ -64,8 +66,7 @@ func main() {
 	opts.MABOptions.RidgeBackend = *ridge
 	exp, err := harness.New(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mabtune:", err)
-		os.Exit(1)
+		cli.Fatal("mabtune", err)
 	}
 
 	fmt.Printf("benchmark=%s regime=%s sf=%.0f rounds=%d data=%.2fGB budget=%.2fGB\n",

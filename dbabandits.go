@@ -24,7 +24,14 @@
 //     an online what-if advisor baseline ship pre-registered; and
 //   - an experiment harness regenerating every figure and table of the
 //     paper's evaluation, with a parallel sweep runner (RunCells) that
-//     fans independent experiment cells across a bounded worker pool.
+//     fans independent experiment cells across a bounded worker pool;
+//     and
+//   - an online serving mode (NewServeSession, cmd/serve): statement
+//     windows arrive incrementally rather than from a preplanned
+//     regime, sessions checkpoint to disk and resume byte-identically
+//     (RestoreServeSession), and a runtime safety guardrail quarantines
+//     the tuner back to the last-known-safe configuration when realized
+//     cost regresses past its budget.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
@@ -75,6 +82,8 @@
 package dbabandits
 
 import (
+	"io"
+
 	"dbabandits/internal/catalog"
 	"dbabandits/internal/datagen"
 	"dbabandits/internal/engine"
@@ -85,6 +94,7 @@ import (
 	"dbabandits/internal/optimizer"
 	"dbabandits/internal/policy"
 	"dbabandits/internal/query"
+	"dbabandits/internal/serve"
 	"dbabandits/internal/storage"
 	"dbabandits/internal/workload"
 )
@@ -186,6 +196,13 @@ type (
 	// PolicyRecommendation is a policy's per-round decision: the full
 	// configuration for the round plus the modelled decision time.
 	PolicyRecommendation = policy.Recommendation
+	// PolicySnapshotter is the optional checkpointing capability: a
+	// policy that can serialise its learned state at a round boundary
+	// and later resume byte-identically from it.
+	PolicySnapshotter = policy.Snapshotter
+	// PolicyForgetter is the optional forgetting capability the serving
+	// guardrail uses to discount a quarantined policy's knowledge.
+	PolicyForgetter = policy.Forgetter
 )
 
 // RegisterPolicy adds a named tuning strategy to the registry; it is then
@@ -273,6 +290,47 @@ func DefaultCostModel() *CostModel { return engine.DefaultCostModel() }
 func ExecutePlan(db *Database, plan *engine.Plan, cm *CostModel) (*ExecStats, error) {
 	return engine.Execute(db, plan, cm)
 }
+
+// Online serving mode types: long-lived checkpointed tuner sessions fed
+// statement windows as they arrive, supervised by a runtime safety
+// guardrail (see examples/serve and cmd/serve).
+type (
+	// ServeSession is a long-lived serving-mode tuner session.
+	ServeSession = serve.Session
+	// ServeOptions configures a serving session.
+	ServeOptions = serve.Options
+	// ServeGuardrailOptions configures the safety supervisor.
+	ServeGuardrailOptions = serve.GuardrailOptions
+	// ServeWindowReport is the per-window account Feed returns.
+	ServeWindowReport = serve.WindowReport
+	// ServeCheckpoint is the versioned on-disk session image.
+	ServeCheckpoint = serve.Checkpoint
+	// ServeStream reads the serving line protocol (one window of
+	// template ids per line, instantiated deterministically).
+	ServeStream = serve.Stream
+)
+
+// ServeCheckpointVersion is the checkpoint format version this build
+// reads and writes.
+const ServeCheckpointVersion = serve.CheckpointVersion
+
+// NewServeSession prepares a serving session; the caller must Close it.
+func NewServeSession(opts ServeOptions) (*ServeSession, error) { return serve.New(opts) }
+
+// RestoreServeSession resumes a session from a checkpoint file. The
+// restored session's next Feed behaves exactly as the checkpointed
+// session's would have.
+func RestoreServeSession(path string) (*ServeSession, error) { return serve.RestoreFile(path) }
+
+// RestoreServeCheckpoint resumes a session from an in-memory checkpoint.
+func RestoreServeCheckpoint(ck *ServeCheckpoint) (*ServeSession, error) { return serve.Restore(ck) }
+
+// LoadServeCheckpoint reads and validates a checkpoint file without
+// rebuilding the session.
+func LoadServeCheckpoint(path string) (*ServeCheckpoint, error) { return serve.LoadCheckpoint(path) }
+
+// NewServeStream wraps a line-protocol reader for a session's benchmark.
+func NewServeStream(r io.Reader, s *ServeSession) *ServeStream { return serve.NewStream(r, s) }
 
 // NewIndexConfig returns an empty index configuration.
 func NewIndexConfig() *IndexConfig { return index.NewConfig() }

@@ -1,0 +1,103 @@
+// Serving mode: feed a tuner session statement windows as they arrive,
+// checkpoint it mid-stream, kill it, restore it from disk, and finish
+// the stream — the restored session recommends exactly what the
+// uninterrupted one would have.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dbabandits"
+)
+
+// The stream: one line per window, template ids from the benchmark's
+// template set (repeat an id for multiple instances).
+const stream = `
+1 2 3 4
+2 3 1
+# ad-hoc spike on templates 5 and 2
+5 5 2
+1 4
+3 2 1
+`
+
+func main() {
+	opts := dbabandits.ServeOptions{
+		Benchmark:     "ssb",
+		ScaleFactor:   10,
+		MaxStoredRows: 3000,
+		Seed:          42,
+		Policy:        "mab",
+	}
+	s, err := dbabandits.NewServeSession(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	ckpt := filepath.Join(os.TempDir(), "serve-example.ckpt")
+	defer os.Remove(ckpt)
+
+	// Serve the first three windows, checkpointing after each.
+	st := dbabandits.NewServeStream(strings.NewReader(stream), s)
+	for i := 0; i < 3; i++ {
+		win, err := st.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := s.Feed(win)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("window %d: %d queries, exec %.1fs, %d indexes\n",
+			rep.Window, rep.NumQueries, rep.ExecSec, rep.NumIndexes)
+		if err := s.WriteCheckpoint(ckpt); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Kill the session (the deferred Close is idempotent) and restore a
+	// fresh one from the checkpoint: the policy's learned state, the
+	// materialised configuration and the guardrail counters all resume.
+	s.Close()
+	restored, err := dbabandits.RestoreServeSession(ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer restored.Close()
+	fmt.Printf("restored at window %d\n", restored.Window())
+
+	// Finish the stream on the restored session, skipping the prefix the
+	// first session already served.
+	st = dbabandits.NewServeStream(strings.NewReader(stream), restored)
+	if err := st.Skip(restored.Window()); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		win, err := st.Next()
+		if err != nil {
+			break // io.EOF: stream done
+		}
+		rep, err := restored.Feed(win)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flag := ""
+		if rep.Intervention != "" {
+			flag = "  <- guardrail " + rep.Intervention
+		}
+		fmt.Printf("window %d: %d queries, exec %.1fs, %d indexes%s\n",
+			rep.Window, rep.NumQueries, rep.ExecSec, rep.NumIndexes, flag)
+	}
+
+	fmt.Println("final configuration:")
+	for _, id := range restored.Config() {
+		fmt.Println("  ", id)
+	}
+}

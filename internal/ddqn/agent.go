@@ -2,10 +2,10 @@ package ddqn
 
 import (
 	"math"
-	"math/rand"
 
 	"dbabandits/internal/linalg"
 	"dbabandits/internal/mab"
+	"dbabandits/internal/snaprand"
 )
 
 // transition is one replay-buffer entry: the chosen arm's context, the
@@ -95,7 +95,7 @@ func (o AgentOptions) withDefaults() AgentOptions {
 // indices will be randomly made for that entire round").
 type Agent struct {
 	opts   AgentOptions
-	rng    *rand.Rand
+	rng    *snaprand.Rand
 	online *MLP
 	target *MLP
 	buffer []transition
@@ -109,8 +109,11 @@ type Agent struct {
 // NewAgent constructs the agent for the given context dimension.
 func NewAgent(dim int, opts AgentOptions) *Agent {
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	online := NewMLP(rng, dim, opts.Hidden)
+	// The draw-counting generator emits the identical sequence to the
+	// plain rand.New(rand.NewSource(seed)) used historically, so every
+	// pinned fixture is unchanged — and the agent becomes checkpointable.
+	rng := snaprand.New(opts.Seed)
+	online := NewMLP(rng.Rand, dim, opts.Hidden)
 	return &Agent{
 		opts:   opts,
 		rng:    rng,

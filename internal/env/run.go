@@ -1,6 +1,8 @@
 package env
 
 import (
+	"fmt"
+
 	"dbabandits/internal/index"
 	"dbabandits/internal/policy"
 	"dbabandits/internal/query"
@@ -24,27 +26,76 @@ func (e *Environment) Run(kind TunerKind) (*RunResult, error) {
 }
 
 // RunPolicy is the one round-loop driver of Algorithm 2's protocol,
-// shared by every tuning strategy. Each round it (1) asks the policy for
-// a configuration given only the previously executed workload, (2) diffs
-// it against the current configuration and prices the index creations,
-// (3) executes the round's workload under it, (4) prices the index
-// maintenance of the round's update statements (HTAP regime only), and
-// (5) feeds the true execution statistics, creation costs and — for
-// update-aware policies — maintenance charges back to the policy. The
-// per-round recommendation / creation / execution / maintenance
-// breakdown is exactly what every figure and table of the evaluation
-// reports.
+// shared by every tuning strategy: the full round span, with the policy
+// closed when the run ends. Close runs exactly once — deferred, so a
+// round erroring mid-run still releases the policy before the error
+// propagates.
 func (e *Environment) RunPolicy(p policy.Policy) (*RunResult, error) {
 	defer p.Close()
+	return e.RunPolicySpan(p, Span{})
+}
+
+// Span bounds a resumable slice of the round loop. The zero value means
+// the whole run: rounds 1..Seq.Rounds() from an empty configuration.
+type Span struct {
+	// From is the first round to drive (1-based); 0 means 1. For a
+	// resumed run, From is the first round the restored policy has not
+	// yet executed; the driver replays round From-1's workload from the
+	// sequencer (sequencers are pure functions of seed and round, so
+	// the replay is value-identical) as the policy's lastWorkload.
+	From int
+	// To is the last round, inclusive; 0 means the sequencer's total.
+	To int
+	// StartConfig is the configuration in effect entering round From —
+	// the materialised state a checkpoint recorded. nil means empty.
+	// Only the diff against it is priced, exactly as an uninterrupted
+	// run would price round From.
+	StartConfig *index.Config
+}
+
+// RunPolicySpan drives rounds span.From..span.To of Algorithm 2's
+// protocol. Each round it (1) asks the policy for a configuration given
+// only the previously executed workload, (2) diffs it against the
+// current configuration and prices the index creations, (3) executes
+// the round's workload under it, (4) prices the index maintenance of
+// the round's update statements (HTAP regime only), and (5) feeds the
+// true execution statistics, creation costs and — for update-aware
+// policies — maintenance charges back to the policy. The per-round
+// recommendation / creation / execution / maintenance breakdown is
+// exactly what every figure and table of the evaluation reports.
+//
+// Unlike RunPolicy, the span driver does NOT close the policy: a
+// resumable policy outlives any one span (checkpoint, restore, resume),
+// so its owner decides when the run truly ends. A restored policy
+// resumed over the remaining span produces RoundResults byte-identical
+// to the uninterrupted run's — the checkpoint contract the round-trip
+// property tests pin for every registered policy.
+func (e *Environment) RunPolicySpan(p policy.Policy, span Span) (*RunResult, error) {
+	from, to := span.From, span.To
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 {
+		to = e.Seq.Rounds()
+	}
+	if from > to {
+		return nil, fmt.Errorf("env: span %d..%d is empty", from, to)
+	}
 	res := &RunResult{
 		Benchmark: e.Opts.Benchmark,
 		Regime:    e.Opts.Regime,
 		Tuner:     TunerKind(p.Name()),
 	}
 	hasUpdates := e.HasUpdates()
-	cfg := index.NewConfig()
+	cfg := span.StartConfig
+	if cfg == nil {
+		cfg = index.NewConfig()
+	}
 	var lastWorkload []*query.Query
-	for r := 1; r <= e.Seq.Rounds(); r++ {
+	if from > 1 {
+		lastWorkload = e.Seq.Round(from - 1)
+	}
+	for r := from; r <= to; r++ {
 		rec := p.Recommend(r, lastWorkload)
 		next := rec.Config
 		if next == nil {

@@ -1,0 +1,105 @@
+package env
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dbabandits/internal/index"
+	"dbabandits/internal/policy"
+	"dbabandits/internal/query"
+	"dbabandits/internal/workload"
+)
+
+// badSequencer wraps a real sequencer and injects an unplannable query
+// at one round, forcing the driver to error mid-run.
+type badSequencer struct {
+	workload.Sequencer
+	failAt int
+}
+
+func (s *badSequencer) Round(r int) []*query.Query {
+	if r == s.failAt {
+		return []*query.Query{{TemplateID: -1, Tables: []string{"no_such_table"}}}
+	}
+	return s.Sequencer.Round(r)
+}
+
+// TestRunPolicyClosesOnceOnError pins the Close contract: when a round
+// errors mid-run, the error propagates AND the policy is closed exactly
+// once — no leak, no double close.
+func TestRunPolicyClosesOnceOnError(t *testing.T) {
+	e := smallEnv(t, Static, 5)
+	e.Seq = &badSequencer{Sequencer: e.Seq, failAt: 3}
+	p := &scriptedPolicy{env: e, ix: index.New("lineorder", []string{"lo_orderdate"}, nil)}
+	if _, err := e.RunPolicy(p); err == nil {
+		t.Fatal("mid-run planning failure did not propagate")
+	}
+	if p.closed != 1 {
+		t.Fatalf("Close called %d times, want exactly 1", p.closed)
+	}
+	// Rounds 1 and 2 ran before the failure; their feedback landed.
+	if len(p.rounds) != 3 || len(p.observe) != 2 {
+		t.Fatalf("driver state at failure: recommends=%v observes=%d", p.rounds, len(p.observe))
+	}
+}
+
+// TestRunPolicySpanMatchesFullRun pins the span decomposition: driving
+// rounds 1..k and k+1..n as two spans over one policy produces exactly
+// the RoundResults of the single full run — including creation pricing
+// across the seam (StartConfig carries the materialised state).
+func TestRunPolicySpanMatchesFullRun(t *testing.T) {
+	const total, cut = 6, 3
+	eA := smallEnv(t, Static, total)
+	pA, err := eA.Run(TunerKind("advisor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eB := smallEnv(t, Static, total)
+	inner, err := policy.New("advisor", eB, policy.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &cfgRecorder{Policy: inner, cfg: index.NewConfig()}
+	defer p.Close()
+	head, err := eB.RunPolicySpan(p, Span{From: 1, To: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StartConfig carries the materialised state across the seam — the
+	// same hand-off a checkpoint resume performs.
+	tail, err := eB.RunPolicySpan(p, Span{From: cut + 1, To: total, StartConfig: p.cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := append(append([]RoundResult(nil), head.Rounds...), tail.Rounds...)
+	ja, _ := json.Marshal(pA.Rounds)
+	jb, _ := json.Marshal(got)
+	if string(ja) != string(jb) {
+		t.Fatalf("split run diverged from full run:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// cfgRecorder tracks the configuration in effect after each round, the
+// way a resuming caller carries StartConfig across spans.
+type cfgRecorder struct {
+	policy.Policy
+	cfg *index.Config
+}
+
+func (c *cfgRecorder) Recommend(r int, last []*query.Query) policy.Recommendation {
+	rec := c.Policy.Recommend(r, last)
+	if rec.Config != nil {
+		c.cfg = rec.Config
+	}
+	return rec
+}
+
+// TestRunPolicySpanRejectsEmpty pins the span validation.
+func TestRunPolicySpanRejectsEmpty(t *testing.T) {
+	e := smallEnv(t, Static, 3)
+	if _, err := e.RunPolicySpan(&keepEmpty{}, Span{From: 3, To: 2}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+}

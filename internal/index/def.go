@@ -1,0 +1,38 @@
+package index
+
+// Def is the serialisable definition of one index — exactly the inputs
+// New takes. Checkpoints persist configurations as Def lists and
+// rebuild them with Build/ConfigFromDefs, so the on-disk form carries
+// no memoised ids or schema pointers.
+type Def struct {
+	Table   string
+	Key     []string
+	Include []string `json:",omitempty"`
+}
+
+// Build constructs the index the definition describes.
+func (d Def) Build() *Index { return New(d.Table, d.Key, d.Include) }
+
+// Defs returns the configuration's index definitions in deterministic
+// (id-sorted) order.
+func (c *Config) Defs() []Def {
+	all := c.All()
+	out := make([]Def, len(all))
+	for i, ix := range all {
+		out[i] = Def{
+			Table:   ix.Table,
+			Key:     append([]string(nil), ix.Key...),
+			Include: append([]string(nil), ix.Include...),
+		}
+	}
+	return out
+}
+
+// ConfigFromDefs rebuilds a configuration from serialised definitions.
+func ConfigFromDefs(defs []Def) *Config {
+	cfg := NewConfig()
+	for _, d := range defs {
+		cfg.Add(d.Build())
+	}
+	return cfg
+}

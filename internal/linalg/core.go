@@ -60,6 +60,11 @@ type RidgeCore interface {
 	// Forget discounts accumulated knowledge toward the prior by factor
 	// gamma in [0, 1]: 0 keeps everything, 1 resets to lambda*I / 0.
 	Forget(gamma float64)
+	// Snapshot returns the serialisable state of the core; restoring it
+	// with RestoreRidgeCore yields a core whose every subsequent result
+	// is bit-identical to this one's. The theta memo is not captured
+	// (it is a pure function of the captured state).
+	Snapshot() *RidgeSnapshot
 }
 
 // Names of the ridge backends selectable through TunerOptions, policy

@@ -1,0 +1,117 @@
+package linalg
+
+import (
+	"fmt"
+
+	"dbabandits/internal/floatenc"
+)
+
+// RidgeSnapshot is the serialisable state of a RidgeCore: everything a
+// fresh process needs to continue the regression bit for bit. Float
+// payloads are packed via floatenc (base64 of the IEEE-754 bits), so
+// no decimal round-trip can perturb the restored factors; a restored
+// core's every subsequent Theta/width/Observe result is byte-identical
+// to the uninterrupted core's. The theta memo is deliberately not
+// persisted — it is a pure function of the persisted state and is
+// recomputed (to the same bits) on first use.
+type RidgeSnapshot struct {
+	// Backend names the implementation the snapshot came from
+	// (BackendSM or BackendChol); RestoreRidgeCore rebuilds that
+	// backend and refuses a mismatched one.
+	Backend string
+	Dim     int
+	Lambda  float64
+	Updates int
+	// B is the response accumulator (floatenc, Dim values).
+	B string
+
+	// Sherman–Morrison backend state: the scatter matrix, its
+	// maintained inverse, and the rebase-schedule position.
+	V              string  `json:",omitempty"`
+	VInv           string  `json:",omitempty"`
+	SinceRebase    int     `json:",omitempty"`
+	Drift          float64 `json:",omitempty"`
+	RebaseEvery    int     `json:",omitempty"`
+	DriftThreshold float64 `json:",omitempty"`
+
+	// Factored (Cholesky) backend state: the lower-triangular factor.
+	L string `json:",omitempty"`
+}
+
+// Snapshot implements RidgeCore for the Sherman–Morrison backend.
+func (rs *RidgeState) Snapshot() *RidgeSnapshot {
+	return &RidgeSnapshot{
+		Backend:        BackendSM,
+		Dim:            rs.Dim,
+		Lambda:         rs.Lambda,
+		Updates:        rs.updates,
+		B:              floatenc.Encode(rs.B),
+		V:              floatenc.Encode(rs.V.Data),
+		VInv:           floatenc.Encode(rs.VInv.Data),
+		SinceRebase:    rs.sinceRebase,
+		Drift:          rs.drift,
+		RebaseEvery:    rs.RebaseEvery,
+		DriftThreshold: rs.DriftThreshold,
+	}
+}
+
+// Snapshot implements RidgeCore for the factored (Cholesky) backend.
+func (cs *CholState) Snapshot() *RidgeSnapshot {
+	return &RidgeSnapshot{
+		Backend: BackendChol,
+		Dim:     cs.Dim,
+		Lambda:  cs.Lambda,
+		Updates: cs.updates,
+		B:       floatenc.Encode(cs.B),
+		L:       floatenc.Encode(cs.L.Data),
+	}
+}
+
+// RestoreRidgeCore rebuilds the backend a snapshot was taken from,
+// positioned exactly where the snapshotted core was: same factors,
+// same counters, same rebase-schedule position. The restored core's
+// subsequent results are bit-identical to the original's.
+func RestoreRidgeCore(s *RidgeSnapshot) (RidgeCore, error) {
+	if s == nil {
+		return nil, fmt.Errorf("linalg: nil ridge snapshot")
+	}
+	if s.Dim <= 0 || s.Lambda <= 0 {
+		return nil, fmt.Errorf("linalg: ridge snapshot with dim %d, lambda %g", s.Dim, s.Lambda)
+	}
+	b, err := floatenc.DecodeLen(s.B, s.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: ridge snapshot B: %w", err)
+	}
+	switch s.Backend {
+	case BackendSM:
+		v, err := floatenc.DecodeLen(s.V, s.Dim*s.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("linalg: ridge snapshot V: %w", err)
+		}
+		vinv, err := floatenc.DecodeLen(s.VInv, s.Dim*s.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("linalg: ridge snapshot VInv: %w", err)
+		}
+		rs := NewRidgeState(s.Dim, s.Lambda)
+		copy(rs.V.Data, v)
+		copy(rs.VInv.Data, vinv)
+		copy(rs.B, b)
+		rs.updates = s.Updates
+		rs.sinceRebase = s.SinceRebase
+		rs.drift = s.Drift
+		rs.RebaseEvery = s.RebaseEvery
+		rs.DriftThreshold = s.DriftThreshold
+		return rs, nil
+	case BackendChol:
+		l, err := floatenc.DecodeLen(s.L, s.Dim*s.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("linalg: ridge snapshot L: %w", err)
+		}
+		cs := NewCholState(s.Dim, s.Lambda)
+		copy(cs.L.Data, l)
+		copy(cs.B, b)
+		cs.updates = s.Updates
+		return cs, nil
+	}
+	return nil, fmt.Errorf("linalg: ridge snapshot for unknown backend %q (available: %v)", s.Backend, RidgeBackends())
+}

@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feed drives a core through a mixed observation history: dense and
+// sparse observes, interleaved scoring reads (which exercise the theta
+// memo), and a mid-stream Forget.
+func feed(t *testing.T, core RidgeCore, dim, steps int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		switch i % 4 {
+		case 0, 1:
+			x := NewVector(dim)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			core.Observe(x, rng.Float64()*10-2)
+		case 2:
+			nnz := 1 + rng.Intn(dim/2)
+			sx := SparseVector{Dim: dim}
+			for _, j := range rng.Perm(dim)[:nnz] {
+				sx.Idx = append(sx.Idx, j)
+				sx.Val = append(sx.Val, rng.NormFloat64())
+			}
+			core.ObserveSparse(sx, rng.Float64())
+		default:
+			core.ThetaCached()
+			if i == steps/2 {
+				core.Forget(0.3)
+			}
+		}
+	}
+}
+
+// fingerprint captures bit-exact outputs of every scoring entry point.
+func fingerprint(core RidgeCore, dim int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out []uint64
+	for _, v := range core.Theta() {
+		out = append(out, math.Float64bits(v))
+	}
+	x := NewVector(dim)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	out = append(out, math.Float64bits(core.ConfidenceWidth(x)))
+	var xs []SparseVector
+	for k := 0; k < 5; k++ {
+		sx := SparseVector{Dim: dim}
+		for _, j := range rng.Perm(dim)[:2+k%3] {
+			sx.Idx = append(sx.Idx, j)
+			sx.Val = append(sx.Val, rng.NormFloat64())
+		}
+		xs = append(xs, sx)
+		out = append(out, math.Float64bits(core.ConfidenceWidthSparse(sx)))
+	}
+	batch := make([]float64, len(xs))
+	core.ConfidenceWidthBatch(xs, batch)
+	for _, v := range batch {
+		out = append(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// TestSnapshotRoundTrip snapshots each backend mid-history (through a
+// JSON round-trip, as a checkpoint would), restores it, continues both
+// the original and the restored core through identical further
+// observations, and requires bit-identical outputs from every scoring
+// path.
+func TestSnapshotRoundTrip(t *testing.T) {
+	const dim = 12
+	for _, backend := range RidgeBackends() {
+		t.Run(backend, func(t *testing.T) {
+			core, err := NewRidgeCore(backend, dim, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feed(t, core, dim, 40, 11)
+
+			raw, err := json.Marshal(core.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var snap RidgeSnapshot
+			if err := json.Unmarshal(raw, &snap); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := RestoreRidgeCore(&snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Updates() != core.Updates() {
+				t.Fatalf("updates %d, want %d", restored.Updates(), core.Updates())
+			}
+
+			// Continue both through the same further history; every
+			// subsequent output must match bit for bit.
+			feed(t, core, dim, 30, 23)
+			feed(t, restored, dim, 30, 23)
+			want := fingerprint(core, dim, 5)
+			got := fingerprint(restored, dim, 5)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fingerprint %d: %x != %x", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRebaseSchedule pins that the SM backend's rebase position
+// survives the round trip: a restored state must rebase on exactly the
+// same future update as the original.
+func TestSnapshotRebaseSchedule(t *testing.T) {
+	rs := NewRidgeState(4, 1)
+	rs.RebaseEvery = 10
+	rs.DriftThreshold = -1
+	feed(t, rs, 4, 17, 3)
+
+	restored, err := RestoreRidgeCore(rs.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := restored.(*RidgeState)
+	if rr.SinceRebase() != rs.SinceRebase() || rr.Drift() != rs.Drift() {
+		t.Fatalf("rebase position (%d, %g), want (%d, %g)",
+			rr.SinceRebase(), rr.Drift(), rs.SinceRebase(), rs.Drift())
+	}
+	if rr.RebaseEvery != rs.RebaseEvery || rr.DriftThreshold != rs.DriftThreshold {
+		t.Fatalf("schedule (%d, %g), want (%d, %g)",
+			rr.RebaseEvery, rr.DriftThreshold, rs.RebaseEvery, rs.DriftThreshold)
+	}
+}
+
+// TestSnapshotErrors pins the refusal paths.
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := RestoreRidgeCore(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := RestoreRidgeCore(&RidgeSnapshot{Backend: "sm", Dim: 0, Lambda: 1}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	good := NewRidgeState(3, 1).Snapshot()
+	good.Backend = "nope"
+	if _, err := RestoreRidgeCore(good); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	bad := NewCholState(3, 1).Snapshot()
+	bad.L = bad.L[:4]
+	if _, err := RestoreRidgeCore(bad); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package policy
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"dbabandits/internal/engine"
 	"dbabandits/internal/index"
 	"dbabandits/internal/mab"
@@ -131,3 +134,44 @@ func (p *advisorPolicy) Observe(stats []*engine.ExecStats, _ map[string]float64)
 }
 
 func (p *advisorPolicy) Close() {}
+
+// advisorSnapshot is the advisor's serialisable state: the query store,
+// the current configuration, and the decayed observed-gain feedback.
+type advisorSnapshot struct {
+	Store        *mab.QueryStoreSnapshot
+	Config       []index.Def        `json:",omitempty"`
+	ObservedGain map[string]float64 `json:",omitempty"`
+}
+
+// Snapshot implements Snapshotter.
+func (p *advisorPolicy) Snapshot() (json.RawMessage, error) {
+	gains := make(map[string]float64, len(p.observedGain))
+	for k, v := range p.observedGain {
+		gains[k] = v
+	}
+	return json.Marshal(&advisorSnapshot{
+		Store:        p.store.Snapshot(),
+		Config:       p.cfg.Defs(),
+		ObservedGain: gains,
+	})
+}
+
+// Restore implements Snapshotter.
+func (p *advisorPolicy) Restore(raw json.RawMessage) error {
+	var snap advisorSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("advisor policy snapshot: %w", err)
+	}
+	if snap.Store == nil {
+		return fmt.Errorf("advisor policy snapshot: missing query store")
+	}
+	p.store.Restore(snap.Store)
+	p.cfg = index.ConfigFromDefs(snap.Config)
+	p.observedGain = map[string]float64{}
+	for k, v := range snap.ObservedGain {
+		p.observedGain[k] = v
+	}
+	return nil
+}
+
+var _ Snapshotter = (*advisorPolicy)(nil)

@@ -1,8 +1,12 @@
 package policy
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"dbabandits/internal/ddqn"
 	"dbabandits/internal/engine"
+	"dbabandits/internal/floatenc"
 	"dbabandits/internal/index"
 	"dbabandits/internal/linalg"
 	"dbabandits/internal/mab"
@@ -39,6 +43,11 @@ type ddqnPolicy struct {
 	createdIDs     map[string]bool
 	pendingCtxs    []linalg.Vector
 	pendingRewards []float64
+
+	// awaitingObserve marks the torn-round span between Recommend and
+	// Observe, during which the selected arms' feedback state is live
+	// and the policy refuses to snapshot.
+	awaitingObserve bool
 }
 
 func newDDQN(e Env, p Params, singleColumn bool) (Policy, error) {
@@ -104,6 +113,7 @@ func (p *ddqnPolicy) Recommend(round int, lastWorkload []*query.Query) Recommend
 		p.selectedCtxs[a.ID()] = contexts[i]
 	}
 	p.cfg = next
+	p.awaitingObserve = true
 
 	return Recommendation{Config: next, RecommendSec: 0.0012 * float64(len(arms))}
 }
@@ -125,6 +135,83 @@ func (p *ddqnPolicy) Observe(stats []*engine.ExecStats, creationSec map[string]f
 	for id := range used {
 		p.usage[id]++
 	}
+	p.awaitingObserve = false
 }
 
 func (p *ddqnPolicy) Close() {}
+
+// ddqnSnapshot is the policy's serialisable state. Beyond the agent
+// (networks, replay buffer, RNG position) it carries the cross-round
+// pending feedback: the previous round's (context, reward) pairs are
+// held until the next Recommend supplies the bootstrap candidates, so
+// at a round boundary they are live state, floatenc-encoded here.
+type ddqnSnapshot struct {
+	Agent          *ddqn.AgentSnapshot
+	Store          *mab.QueryStoreSnapshot
+	Config         []index.Def        `json:",omitempty"`
+	Usage          map[string]float64 `json:",omitempty"`
+	PendingCtxs    []string           `json:",omitempty"`
+	PendingRewards []float64          `json:",omitempty"`
+}
+
+// Snapshot implements Snapshotter. Between Recommend and Observe the
+// selected arms' feedback state is live and not serialisable, so
+// mid-round snapshots are refused (the same round-boundary contract as
+// the MAB tuner).
+func (p *ddqnPolicy) Snapshot() (json.RawMessage, error) {
+	if p.awaitingObserve {
+		return nil, fmt.Errorf("%s policy snapshot mid-round (awaiting execution feedback); snapshot after Observe", p.name)
+	}
+	snap := &ddqnSnapshot{
+		Agent:          p.agent.Snapshot(),
+		Store:          p.store.Snapshot(),
+		Config:         p.cfg.Defs(),
+		Usage:          p.usage,
+		PendingRewards: p.pendingRewards,
+	}
+	for _, x := range p.pendingCtxs {
+		snap.PendingCtxs = append(snap.PendingCtxs, floatenc.Encode(x))
+	}
+	return json.Marshal(snap)
+}
+
+// Restore implements Snapshotter; the policy must have been constructed
+// with the same Env and Params the snapshotted policy ran under.
+func (p *ddqnPolicy) Restore(raw json.RawMessage) error {
+	var snap ddqnSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s policy snapshot: %w", p.name, err)
+	}
+	if snap.Agent == nil || snap.Store == nil {
+		return fmt.Errorf("%s policy snapshot: missing agent or query store", p.name)
+	}
+	if len(snap.PendingCtxs) != len(snap.PendingRewards) {
+		return fmt.Errorf("%s policy snapshot: %d pending contexts for %d rewards",
+			p.name, len(snap.PendingCtxs), len(snap.PendingRewards))
+	}
+	if err := p.agent.Restore(snap.Agent); err != nil {
+		return err
+	}
+	p.store.Restore(snap.Store)
+	p.cfg = index.ConfigFromDefs(snap.Config)
+	p.usage = map[string]float64{}
+	for k, v := range snap.Usage {
+		p.usage[k] = v
+	}
+	p.pendingCtxs = nil
+	for i, enc := range snap.PendingCtxs {
+		x, err := floatenc.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("%s policy snapshot: pending context %d: %w", p.name, i, err)
+		}
+		p.pendingCtxs = append(p.pendingCtxs, x)
+	}
+	p.pendingRewards = snap.PendingRewards
+	p.selected = nil
+	p.selectedCtxs = nil
+	p.createdIDs = nil
+	p.awaitingObserve = false
+	return nil
+}
+
+var _ Snapshotter = (*ddqnPolicy)(nil)

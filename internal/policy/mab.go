@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"dbabandits/internal/engine"
@@ -97,4 +98,35 @@ func (p *mabPolicy) ObserveUpdates(updates []query.Update, perIndexMaintSec map[
 
 func (p *mabPolicy) Close() {}
 
-var _ UpdateAware = (*mabPolicy)(nil)
+// Snapshot implements Snapshotter: the tuner's round-boundary state
+// (ridge factors, query store, configuration, usage and churn
+// statistics). The tuner refuses mid-round snapshots, so a torn round
+// can never be serialised.
+func (p *mabPolicy) Snapshot() (json.RawMessage, error) {
+	snap, err := p.tuner.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(snap)
+}
+
+// Restore implements Snapshotter; the policy must have been constructed
+// with the same Env and Params the snapshotted policy ran under.
+func (p *mabPolicy) Restore(raw json.RawMessage) error {
+	var snap mab.TunerSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("mab policy snapshot: %w", err)
+	}
+	return p.tuner.Restore(&snap)
+}
+
+// Forget implements Forgetter: the guardrail's quarantine can discount
+// the bandit's learned knowledge toward the prior, the same mechanism
+// workload-shift forgetting uses.
+func (p *mabPolicy) Forget(gamma float64) { p.tuner.Bandit().Forget(gamma) }
+
+var (
+	_ UpdateAware = (*mabPolicy)(nil)
+	_ Snapshotter = (*mabPolicy)(nil)
+	_ Forgetter   = (*mabPolicy)(nil)
+)

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"encoding/json"
+
 	"dbabandits/internal/engine"
 	"dbabandits/internal/index"
 	"dbabandits/internal/query"
@@ -27,3 +29,12 @@ func (p *noIndex) Recommend(int, []*query.Query) Recommendation {
 func (p *noIndex) Observe([]*engine.ExecStats, map[string]float64) {}
 
 func (p *noIndex) Close() {}
+
+// Snapshot implements Snapshotter; the control is stateless, so the
+// snapshot is empty and Restore accepts anything Snapshot produced.
+func (p *noIndex) Snapshot() (json.RawMessage, error) { return json.RawMessage(`{}`), nil }
+
+// Restore implements Snapshotter.
+func (p *noIndex) Restore(json.RawMessage) error { return nil }
+
+var _ Snapshotter = (*noIndex)(nil)

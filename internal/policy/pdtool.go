@@ -1,6 +1,9 @@
 package policy
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"dbabandits/internal/engine"
 	"dbabandits/internal/index"
 	"dbabandits/internal/pdtool"
@@ -113,3 +116,36 @@ func (p *pdtoolPolicy) Recommend(round int, lastWorkload []*query.Query) Recomme
 func (p *pdtoolPolicy) Observe([]*engine.ExecStats, map[string]float64) {}
 
 func (p *pdtoolPolicy) Close() {}
+
+// pdtoolSnapshot is the offline tool's serialisable state: the current
+// configuration and the observed workload history the scheduled
+// retrainings draw from. The advisor itself is stateless and the
+// invocation schedule derives from the environment.
+type pdtoolSnapshot struct {
+	Config  []index.Def      `json:",omitempty"`
+	History []*query.Query   `json:",omitempty"`
+	Windows [][]*query.Query `json:",omitempty"`
+}
+
+// Snapshot implements Snapshotter.
+func (p *pdtoolPolicy) Snapshot() (json.RawMessage, error) {
+	return json.Marshal(&pdtoolSnapshot{
+		Config:  p.cfg.Defs(),
+		History: p.history,
+		Windows: p.windows,
+	})
+}
+
+// Restore implements Snapshotter.
+func (p *pdtoolPolicy) Restore(raw json.RawMessage) error {
+	var snap pdtoolSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("pdtool policy snapshot: %w", err)
+	}
+	p.cfg = index.ConfigFromDefs(snap.Config)
+	p.history = snap.History
+	p.windows = snap.Windows
+	return nil
+}
+
+var _ Snapshotter = (*pdtoolPolicy)(nil)

@@ -14,6 +14,7 @@
 package policy
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -95,6 +96,33 @@ type Env interface {
 // call it, so implementing the interface cannot perturb analytical runs.
 type UpdateAware interface {
 	ObserveUpdates(updates []query.Update, perIndexMaintSec map[string]float64)
+}
+
+// Snapshotter is an optional Policy extension for checkpointable
+// policies. Snapshot serialises the policy's learned state at a round
+// boundary (after Observe has folded in the round's feedback); Restore
+// replaces a freshly constructed policy's state with a previously
+// serialised one. The contract is byte-identical resumption: a policy
+// constructed with the same Env and Params, restored from a snapshot,
+// must produce exactly the recommendations the snapshotted policy
+// would have produced from that round on. Policies holding mid-round
+// feedback state return an error from Snapshot rather than serialise a
+// torn round. Every seed policy implements Snapshotter; like
+// UpdateAware, drivers discover the capability by type assertion, so
+// external policies without it simply cannot be checkpointed.
+type Snapshotter interface {
+	Snapshot() (json.RawMessage, error)
+	Restore(json.RawMessage) error
+}
+
+// Forgetter is an optional Policy extension for policies that can
+// discount learned knowledge toward their prior, by factor gamma in
+// [0, 1] (the bandit's workload-shift forgetting). The serving mode's
+// safety guardrail uses it on quarantine: a policy whose learned state
+// caused a cost regression can be partially reset along with the
+// configuration revert.
+type Forgetter interface {
+	Forget(gamma float64)
 }
 
 // UpdateEnv is the optional capability view of environments whose

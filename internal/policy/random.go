@@ -1,12 +1,14 @@
 package policy
 
 import (
-	"math/rand"
+	"encoding/json"
+	"fmt"
 
 	"dbabandits/internal/engine"
 	"dbabandits/internal/index"
 	"dbabandits/internal/mab"
 	"dbabandits/internal/query"
+	"dbabandits/internal/snaprand"
 )
 
 func init() {
@@ -21,7 +23,7 @@ func init() {
 // creations. Like every baseline it is registered through the policy
 // registry alone, with zero driver or harness edits.
 type randomConfig struct {
-	rng    *rand.Rand
+	rng    *snaprand.Rand
 	gen    *mab.ArmGenerator
 	store  *mab.QueryStore
 	budget int64
@@ -39,7 +41,10 @@ func newRandomConfig(e Env, p Params) (Policy, error) {
 		seed = 1
 	}
 	return &randomConfig{
-		rng:    rand.New(rand.NewSource(seed*1_000_003 + 17)),
+		// The draw-counting generator emits the identical sequence to the
+		// plain rand.New(rand.NewSource(...)) used historically, so the
+		// pinned goldens are unchanged — and the control is checkpointable.
+		rng:    snaprand.New(seed*1_000_003 + 17),
 		gen:    mab.NewArmGenerator(e.Catalog(), mab.ArmGenOptions{}),
 		store:  mab.NewQueryStore(),
 		budget: e.MemoryBudgetBytes(),
@@ -81,3 +86,41 @@ func (p *randomConfig) Recommend(round int, lastWorkload []*query.Query) Recomme
 func (p *randomConfig) Observe([]*engine.ExecStats, map[string]float64) {}
 
 func (p *randomConfig) Close() {}
+
+// randomSnapshot is the control's serialisable state: the RNG position
+// (seed plus draw count — restoring fast-forwards to the identical next
+// draw), the query store, and the current configuration. The arm
+// generator's memos are pure caches and are rebuilt on demand.
+type randomSnapshot struct {
+	Seed   int64
+	Draws  uint64
+	Store  *mab.QueryStoreSnapshot
+	Config []index.Def `json:",omitempty"`
+}
+
+// Snapshot implements Snapshotter.
+func (p *randomConfig) Snapshot() (json.RawMessage, error) {
+	return json.Marshal(&randomSnapshot{
+		Seed:   p.rng.Seed(),
+		Draws:  p.rng.Draws(),
+		Store:  p.store.Snapshot(),
+		Config: p.cfg.Defs(),
+	})
+}
+
+// Restore implements Snapshotter.
+func (p *randomConfig) Restore(raw json.RawMessage) error {
+	var snap randomSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("random policy snapshot: %w", err)
+	}
+	if snap.Store == nil {
+		return fmt.Errorf("random policy snapshot: missing query store")
+	}
+	p.rng = snaprand.Restore(snap.Seed, snap.Draws)
+	p.store.Restore(snap.Store)
+	p.cfg = index.ConfigFromDefs(snap.Config)
+	return nil
+}
+
+var _ Snapshotter = (*randomConfig)(nil)

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/query"
+)
+
+// testStream is the shared window stream: template ids per line, with a
+// repeated id and a comment exercising the protocol.
+const testStream = `
+1 2 3 4
+2 3 1
+# spike
+5 5 2
+1 4
+3 2 1
+2 4
+`
+
+func testOptions() Options {
+	return Options{
+		Benchmark:     "ssb",
+		ScaleFactor:   10,
+		MaxStoredRows: 1500,
+		Seed:          7,
+		Policy:        "mab",
+	}
+}
+
+func feedAll(t *testing.T, s *Session, st *Stream, max int) []*WindowReport {
+	t.Helper()
+	var reps []*WindowReport
+	for max <= 0 || len(reps) < max {
+		win, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Feed(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}
+
+func reportJSON(t *testing.T, reps []*WindowReport) string {
+	t.Helper()
+	data, err := json.Marshal(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestKillRestoreDeterminism pins the tentpole contract on both ridge
+// backends: a session checkpointed mid-stream, killed, and restored
+// from disk produces byte-identical window reports and an identical
+// final configuration to a session that was never interrupted.
+func TestKillRestoreDeterminism(t *testing.T) {
+	for _, backend := range linalg.RidgeBackends() {
+		t.Run(backend, func(t *testing.T) {
+			opts := testOptions()
+			opts.RidgeBackend = backend
+
+			golden, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer golden.Close()
+			wantReps := feedAll(t, golden, NewStream(strings.NewReader(testStream), golden), 0)
+
+			const cut = 3
+			victim, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			headReps := feedAll(t, victim, NewStream(strings.NewReader(testStream), victim), cut)
+			path := filepath.Join(t.TempDir(), "session.ckpt")
+			if err := victim.WriteCheckpoint(path); err != nil {
+				t.Fatal(err)
+			}
+			victim.Close() // the kill
+
+			restored, err := RestoreFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restored.Close()
+			if restored.Window() != cut {
+				t.Fatalf("restored at window %d, want %d", restored.Window(), cut)
+			}
+			st := NewStream(strings.NewReader(testStream), restored)
+			if err := st.Skip(cut); err != nil {
+				t.Fatal(err)
+			}
+			tailReps := feedAll(t, restored, st, 0)
+
+			got := reportJSON(t, append(headReps, tailReps...))
+			want := reportJSON(t, wantReps)
+			if got != want {
+				t.Fatalf("kill-and-restore diverged from uninterrupted run:\n%s\nvs\n%s", got, want)
+			}
+			if g, w := strings.Join(restored.Config(), ","), strings.Join(golden.Config(), ","); g != w {
+				t.Fatalf("final configuration diverged: %q vs %q", g, w)
+			}
+			if restored.Quarantines() != golden.Quarantines() {
+				t.Fatalf("quarantine count diverged: %d vs %d", restored.Quarantines(), golden.Quarantines())
+			}
+		})
+	}
+}
+
+// TestGuardrailQuarantineRound forces a regression by shrinking the
+// budget to near zero and pins the intervention schedule: violations
+// from window 1, quarantine exactly at window QuarantineAfter, the
+// following CooldownWindows windows executing under the (empty) safe
+// configuration.
+func TestGuardrailQuarantineRound(t *testing.T) {
+	opts := testOptions()
+	opts.Guardrail = GuardrailOptions{
+		BudgetX:         1e-9, // every window violates
+		QuarantineAfter: 2,
+		CooldownWindows: 2,
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reps := feedAll(t, s, NewStream(strings.NewReader(testStream), s), 6)
+	if len(reps) != 6 {
+		t.Fatalf("served %d windows, want 6", len(reps))
+	}
+
+	if !reps[0].Violation || reps[0].Intervention != "" {
+		t.Fatalf("window 1: violation=%v intervention=%q, want first strike and no intervention", reps[0].Violation, reps[0].Intervention)
+	}
+	if !reps[1].Violation || reps[1].Intervention != "quarantine" {
+		t.Fatalf("window 2: violation=%v intervention=%q, want the quarantine trip", reps[1].Violation, reps[1].Intervention)
+	}
+	for _, i := range []int{2, 3} {
+		if !reps[i].Quarantined || reps[i].Violation || reps[i].NumIndexes != 0 {
+			t.Fatalf("window %d: quarantined=%v violation=%v indexes=%d, want cooldown under the empty safe config",
+				i+1, reps[i].Quarantined, reps[i].Violation, reps[i].NumIndexes)
+		}
+	}
+	// Cooldown over: the tuner is trusted again, violations resume, and
+	// window 6 trips the second quarantine.
+	if reps[4].Quarantined || !reps[4].Violation {
+		t.Fatalf("window 5: quarantined=%v violation=%v, want the tuner back in control and violating", reps[4].Quarantined, reps[4].Violation)
+	}
+	if reps[5].Intervention != "quarantine" {
+		t.Fatalf("window 6: intervention=%q, want the second quarantine", reps[5].Intervention)
+	}
+	if s.Quarantines() != 2 {
+		t.Fatalf("quarantines = %d, want 2", s.Quarantines())
+	}
+}
+
+// TestGuardrailDisabled pins that -no-guard means no judgements at all.
+func TestGuardrailDisabled(t *testing.T) {
+	opts := testOptions()
+	opts.Guardrail = GuardrailOptions{Disabled: true, BudgetX: 1e-9}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, rep := range feedAll(t, s, NewStream(strings.NewReader(testStream), s), 4) {
+		if rep.Violation || rep.Quarantined || rep.Intervention != "" {
+			t.Fatalf("window %d: guardrail acted while disabled: %+v", rep.Window, rep)
+		}
+	}
+	if s.Quarantines() != 0 {
+		t.Fatalf("quarantines = %d, want 0", s.Quarantines())
+	}
+}
+
+// TestStreamSkipMatchesRead pins the stream's restore contract: window
+// n's instantiated queries do not depend on whether windows 1..n-1 were
+// read or skipped.
+func TestStreamSkipMatchesRead(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	read := NewStream(strings.NewReader(testStream), s)
+	var third []*query.Query
+	for i := 0; i < 3; i++ {
+		if third, err = read.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	skipped := NewStream(strings.NewReader(testStream), s)
+	if err := skipped.Skip(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := skipped.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(third)
+	jb, _ := json.Marshal(got)
+	if string(ja) != string(jb) {
+		t.Fatalf("skip changed window 3's instantiation:\n%s\nvs\n%s", ja, jb)
+	}
+	if len(got) != 3 {
+		t.Fatalf("window 3 has %d queries, want 3", len(got))
+	}
+}
+
+// TestStreamErrors pins the protocol's failure modes.
+func TestStreamErrors(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := NewStream(strings.NewReader("1 bogus\n"), s).Next(); err == nil {
+		t.Fatal("non-integer template id accepted")
+	}
+	if _, err := NewStream(strings.NewReader("999\n"), s).Next(); err == nil {
+		t.Fatal("unknown template id accepted")
+	}
+	if err := NewStream(strings.NewReader("1\n"), s).Skip(2); err == nil {
+		t.Fatal("skip past stream end accepted")
+	}
+}
+
+// TestSessionValidation pins constructor and Feed validation.
+func TestSessionValidation(t *testing.T) {
+	bad := testOptions()
+	bad.RidgeBackend = "lu"
+	if _, err := New(bad); err == nil {
+		t.Fatal("unknown ridge backend accepted")
+	}
+	bad = testOptions()
+	bad.Policy = "no-such-policy"
+	if _, err := New(bad); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Feed(nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Feed([]*query.Query{{}}); err == nil {
+		t.Fatal("Feed on closed session accepted")
+	}
+}
+
+// TestCheckpointVersionGate pins that a future-format checkpoint is
+// refused rather than guessed at.
+func TestCheckpointVersionGate(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Version = CheckpointVersion + 1
+	if _, err := Restore(ck); err == nil {
+		t.Fatal("future checkpoint version accepted")
+	}
+}

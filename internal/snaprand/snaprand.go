@@ -1,0 +1,72 @@
+// Package snaprand wraps math/rand with a draw-counting source so that
+// stochastic tuning policies can be checkpointed and resumed without
+// changing a single draw. The wrapper delegates every source read to
+// the standard rand.NewSource generator — including the Source64 fast
+// path — so a snaprand.Rand emits exactly the sequence rand.New
+// (rand.NewSource(seed)) always did; the only addition is a counter of
+// how many times the source advanced. A snapshot is therefore just
+// (seed, draws), and Restore re-seeds and fast-forwards the source by
+// draws steps — after which the restored generator is bit-identical to
+// the one that was snapshotted, whatever mix of Float64/Intn/Perm/
+// NormFloat64 calls produced the count.
+package snaprand
+
+import "math/rand"
+
+// countingSource counts underlying generator advances. It implements
+// rand.Source64 by delegating to the standard source, which is
+// essential for sequence fidelity: rand.Rand takes a different (and
+// differently-valued) code path for sources without Uint64.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// Rand is a math/rand generator with a recorded seed and draw count.
+// All drawing methods come from the embedded *rand.Rand.
+type Rand struct {
+	*rand.Rand
+	cs   *countingSource
+	seed int64
+}
+
+// New returns a generator seeded like rand.New(rand.NewSource(seed)),
+// emitting the identical sequence.
+func New(seed int64) *Rand {
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Rand{Rand: rand.New(cs), cs: cs, seed: seed}
+}
+
+// Seed returns the seed the generator was created (or restored) with.
+func (r *Rand) Seed() int64 { return r.seed }
+
+// Draws returns how many times the underlying source has advanced —
+// the fast-forward distance a snapshot must record.
+func (r *Rand) Draws() uint64 { return r.cs.n }
+
+// Restore returns a generator positioned exactly where a generator
+// created by New(seed) would be after `draws` source advances: the
+// snapshot inverse of (Seed, Draws).
+func Restore(seed int64, draws uint64) *Rand {
+	r := New(seed)
+	for i := uint64(0); i < draws; i++ {
+		r.cs.src.Int63()
+	}
+	r.cs.n = draws
+	return r
+}
