@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke cover bench benchsweep benchsmoke ci
+.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke scoresmoke cover bench benchsweep benchsmoke benchdiff ci
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent code (worker pool + harness)
-# and the policy/env/serve layers every experiment cell and serving
-# session drives.
+# Race-detector pass over the concurrent code (worker pool + sharded
+# scoring kernels + harness) and the policy/env/serve layers every
+# experiment cell and serving session drives. linalg and mab are here
+# for the parallel arm-scoring tests: shards score a shared ridge core
+# concurrently, and -race proves the read-only discipline.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/...
+	$(GO) test -race ./internal/runner/... ./internal/linalg/... ./internal/mab/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/...
 
 # Fails when any file needs gofmt, listing the offenders.
 fmt:
@@ -53,6 +55,15 @@ ridgesmoke:
 # restore from disk — the stitched kill-and-restore output must match
 # the uninterrupted run byte for byte (only the process-local Served
 # counter in the summary line is masked).
+# Parallel-scoring smoke mirroring CI: Figure 2 regenerated with arm
+# scoring fanned across 4 workers, stdout byte-compared against the
+# default serial pass — parallelism changes scheduling, never bytes.
+scoresmoke:
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 > .score_serial.out
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -score-parallel 4 > .score_par.out
+	diff .score_serial.out .score_par.out
+	@rm -f .score_serial.out .score_par.out
+
 servesmoke:
 	@printf '1 2 3 4\n2 3 1\n5 5 2\n1 4\n3 2 1\n' > .serve_stream.txt
 	$(GO) run ./cmd/serve -stream .serve_stream.txt > .serve_full.out
@@ -75,13 +86,27 @@ cover:
 # cmd/benchjson, so the perf trajectory is tracked in-repo. Compare
 # against BENCH_baseline.json (captured at the pre-sparse-fast-path
 # commit) — see the README's Performance section.
-BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$'
+BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresBatchParallel$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkCholObserveFused$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkForgetLowRank$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$'
 
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem ./... > .bench.out
-	$(GO) run ./cmd/benchjson -label ridge=sm < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) run ./cmd/benchjson -label ridge=sm -label score-workers=1,2,4 < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
 	@rm -f .bench.out
 	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
+
+# Committed latest capture; bump when `make bench` commits a new one.
+BENCH_LATEST = BENCH_4bd9d45.json
+
+# Perf regression tripwire mirroring CI: re-runs the Observe/Scores hot
+# paths, captures them through benchjson, and fails if any benchmark
+# present in both captures regressed ns/op by more than 30% against the
+# committed latest capture. Benchmarks new since that capture are
+# reported but never gated.
+benchdiff:
+	$(GO) test -run '^$$' -bench 'Observe|Scores' -benchmem ./internal/linalg/ ./internal/mab/ > .benchdiff.out
+	$(GO) run ./cmd/benchjson < .benchdiff.out > .benchdiff.json
+	@$(GO) run ./cmd/benchdiff -only 'Observe|Scores' -fail-over 30 $(BENCH_LATEST) .benchdiff.json; \
+	status=$$?; rm -f .benchdiff.out .benchdiff.json; exit $$status
 
 # Parallel-runner speedup benchmark (sequential vs all-CPU sweep).
 benchsweep:
@@ -99,4 +124,4 @@ benchsmoke:
 
 # cover subsumes test (go test -cover runs the full suite), so ci pays
 # for one suite pass plus the race pass, matching the CI workflow.
-ci: fmt vet build cover race smoke htapsmoke ridgesmoke servesmoke benchsmoke
+ci: fmt vet build cover race smoke htapsmoke ridgesmoke scoresmoke servesmoke benchsmoke benchdiff

@@ -1,0 +1,113 @@
+// Command benchdiff compares two committed benchmark captures
+// (BENCH_<sha>.json files written by `make bench`) and prints a
+// per-benchmark delta table on ns/op, flagging benchmarks present in
+// only one capture. It is the review tool for the repo's
+// capture-per-PR perf workflow and the CI regression tripwire.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -only 'Observe|Scores' -fail-over 30 BENCH_old.json BENCH_new.json
+//
+// -only restricts the table (and the gate) to benchmark names matching
+// the regexp. -fail-over PCT exits 1 if any compared benchmark's ns/op
+// regressed by more than PCT percent — CI smoke uses it to fail on
+// >30% regressions of the Observe/Scores hot paths against the
+// committed latest capture. Captures from different machines diff
+// meaningfully only in ratio terms; the gate compares each pair within
+// one file pair, never across.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"dbabandits/internal/benchfmt"
+	"dbabandits/internal/cli"
+)
+
+func main() {
+	only := flag.String("only", "", "restrict to benchmark names matching this regexp")
+	failOver := flag.Float64("fail-over", 0, "exit 1 if any ns/op regression exceeds this percentage (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-only REGEXP] [-fail-over PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	var filter *regexp.Regexp
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			cli.Fatal("benchdiff", err)
+		}
+		filter = re
+	}
+	oldDoc, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		cli.Fatal("benchdiff", err)
+	}
+	newDoc, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		cli.Fatal("benchdiff", err)
+	}
+
+	names := map[string]bool{}
+	for name := range oldDoc.Benchmarks {
+		names[name] = true
+	}
+	for name := range newDoc.Benchmarks {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		if filter == nil || filter.MatchString(name) {
+			sorted = append(sorted, name)
+		}
+	}
+	sort.Strings(sorted)
+	if len(sorted) == 0 {
+		cli.Fatal("benchdiff", fmt.Errorf("no benchmarks to compare (filter %q)", *only))
+	}
+
+	width := len("benchmark")
+	for _, name := range sorted {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %14s  %8s\n", width, "benchmark", "old ns/op", "new ns/op", "delta")
+	worst, worstName := 0.0, ""
+	compared := 0
+	for _, name := range sorted {
+		o, inOld := oldDoc.Benchmarks[name]
+		n, inNew := newDoc.Benchmarks[name]
+		switch {
+		case !inOld:
+			fmt.Printf("%-*s  %14s  %14.0f  %8s\n", width, name, "-", n["ns/op"], "new")
+		case !inNew:
+			fmt.Printf("%-*s  %14.0f  %14s  %8s\n", width, name, o["ns/op"], "-", "gone")
+		default:
+			ons, nns := o["ns/op"], n["ns/op"]
+			if ons <= 0 {
+				fmt.Printf("%-*s  %14.0f  %14.0f  %8s\n", width, name, ons, nns, "?")
+				continue
+			}
+			pct := (nns - ons) / ons * 100
+			fmt.Printf("%-*s  %14.0f  %14.0f  %+7.1f%%\n", width, name, ons, nns, pct)
+			compared++
+			if pct > worst {
+				worst, worstName = pct, name
+			}
+		}
+	}
+	if compared == 0 {
+		cli.Fatal("benchdiff", fmt.Errorf("no benchmark appears in both captures (filter %q)", *only))
+	}
+	if *failOver > 0 && worst > *failOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (> %.0f%% budget)\n", worstName, worst, *failOver)
+		os.Exit(1)
+	}
+}

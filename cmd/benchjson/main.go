@@ -1,91 +1,38 @@
-// Command benchjson converts `go test -bench` output on stdin into a
-// stable JSON document mapping benchmark name → metrics (ns/op, B/op,
-// allocs/op, plus any custom ReportMetric units), so perf numbers can be
-// committed as BENCH_<sha>.json files and diffed across commits. See the
-// `make bench` target and the README's Performance section.
+// Command benchjson converts `go test -bench` output on stdin into the
+// stable JSON capture format of internal/benchfmt (benchmark name →
+// metrics: ns/op, B/op, allocs/op, plus any custom ReportMetric units),
+// so perf numbers can be committed as BENCH_<sha>.json files and diffed
+// across commits with cmd/benchdiff. See the `make bench` target and
+// the README's Performance section.
 //
 // The GOMAXPROCS suffix (-8 etc.) is stripped from benchmark names and
 // map keys are emitted sorted, so two captures of the same tree differ
 // only where the numbers do.
 //
 // Repeatable -label key=value flags annotate the capture (emitted under
-// "labels"); `make bench` uses them to record the ridge backend the
-// recommend-loop benchmarks ran under, e.g.
+// "labels"); `make bench` uses them to record the ridge backend and
+// scoring worker counts the recommend-loop benchmarks ran under, e.g.
 //
 //	go test -bench ... | benchjson -label ridge=sm > BENCH_abc1234.json
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
 
+	"dbabandits/internal/benchfmt"
 	"dbabandits/internal/cli"
 )
 
-// benchLine matches one result row: name, run count, then (value, unit)
-// metric pairs, e.g.
-//
-//	BenchmarkScoresTPCDS-8   	    1234	    987654 ns/op	  112 B/op	   3 allocs/op
-var procSuffix = regexp.MustCompile(`-\d+$`)
-
-type document struct {
-	Goos       string                        `json:"goos,omitempty"`
-	Goarch     string                        `json:"goarch,omitempty"`
-	CPU        string                        `json:"cpu,omitempty"`
-	Labels     map[string]string             `json:"labels,omitempty"`
-	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
-}
-
 func main() {
-	doc := document{Benchmarks: map[string]map[string]float64{}}
 	labels := cli.Labels(flag.CommandLine)
 	flag.Parse()
-	doc.Labels = labels()
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			doc.Goos = strings.TrimPrefix(line, "goos: ")
-			continue
-		case strings.HasPrefix(line, "goarch: "):
-			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
-			continue
-		case strings.HasPrefix(line, "cpu: "):
-			doc.CPU = strings.TrimPrefix(line, "cpu: ")
-			continue
-		}
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 {
-			continue
-		}
-		runs, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			continue
-		}
-		name := procSuffix.ReplaceAllString(fields[0], "")
-		metrics := map[string]float64{"runs": runs}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				break
-			}
-			metrics[fields[i+1]] = v
-		}
-		doc.Benchmarks[name] = metrics
-	}
-	if err := sc.Err(); err != nil {
+	doc, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		cli.Fatal("benchjson", err)
 	}
+	doc.Labels = labels()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

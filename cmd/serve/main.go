@@ -37,6 +37,8 @@ func main() {
 		sf, rows, seed = cli.Data(flag.CommandLine)
 		budget         = cli.Budget(flag.CommandLine)
 		ridge          = cli.Ridge(flag.CommandLine)
+		scorePar       = cli.ScoreParallel(flag.CommandLine)
+		forgetRank     = cli.ForgetRank(flag.CommandLine)
 		pol            = cli.Policy(flag.CommandLine, "policy", "mab")
 
 		streamPath = flag.String("stream", "-", "window stream file ('-' = stdin)")
@@ -75,6 +77,8 @@ func main() {
 			MemoryBudgetX: *budget,
 			Policy:        *pol,
 			RidgeBackend:  *ridge,
+			ScoreWorkers:  *scorePar,
+			ForgetRank:    *forgetRank,
 			Guardrail: serve.GuardrailOptions{
 				Disabled:        *noGuard,
 				BudgetX:         *guardX,

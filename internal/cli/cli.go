@@ -45,6 +45,25 @@ func Ridge(fs *flag.FlagSet) *string {
 		"MAB ridge backend: sm (Sherman–Morrison inverse) | chol (factored Cholesky)")
 }
 
+// ScoreParallel registers the -score-parallel knob: worker goroutines
+// for the MAB's batched arm scoring. The batch is partitioned
+// deterministically by arm index with per-worker scratch, so results
+// are byte-identical at any setting — this is purely a latency knob.
+func ScoreParallel(fs *flag.FlagSet) *int {
+	return fs.Int("score-parallel", 1,
+		"MAB arm-scoring worker goroutines (results identical at any value)")
+}
+
+// ForgetRank registers the -forget-rank knob: the budget of the SM
+// ridge backend's structured low-rank Forget correction. 0 keeps the
+// exact Forget-triggered refactorisation (the default every golden was
+// captured under); k >= the context dimension is mathematically exact
+// at O(k·d²) instead of O(d³).
+func ForgetRank(fs *flag.FlagSet) *int {
+	return fs.Int("forget-rank", 0,
+		"SM ridge low-rank Forget budget (0 = exact rebase)")
+}
+
 // CheckRidge validates a -ridge value before any expensive setup runs.
 func CheckRidge(name string) error {
 	if !linalg.ValidRidgeBackend(name) {

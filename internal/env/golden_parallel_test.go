@@ -1,0 +1,132 @@
+package env
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbabandits/internal/linalg"
+	"dbabandits/internal/policy"
+)
+
+// runGoldenFixture drives one golden-harness run (the exact environment
+// every committed fixture was captured from) under the given policy,
+// ridge backend, and scoring worker count, returning the marshalled
+// RunResult bytes.
+func runGoldenFixture(t *testing.T, regime Regime, rounds int, name, backend string, workers int) []byte {
+	t.Helper()
+	e, err := New(Options{
+		Benchmark:     "ssb",
+		Regime:        regime,
+		ScaleFactor:   10,
+		MaxStoredRows: 2000,
+		Rounds:        rounds,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Opts.DDQNSeed = 7
+	e.Opts.RandomSeed = 7
+	e.Opts.MABOptions.RidgeBackend = backend
+	e.Opts.MABOptions.ScoreWorkers = workers
+	p, err := policy.New(name, e, e.policyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunPolicy(p)
+	if err != nil {
+		t.Fatalf("%s/%s workers=%d: %v", regime, name, workers, err)
+	}
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(got, '\n')
+}
+
+// TestParallelScoringReproducesGoldens is the determinism pin for the
+// parallel arm-scoring path: every committed golden fixture must be
+// reproduced byte for byte with scoring fanned across worker pools of
+// every tested size. The MAB fixtures — the only policies that score
+// arms through C2UCB — run at workers 1, 2, 4 and 7 on both ridge
+// backends (7 deliberately does not divide any candidate set evenly).
+// Byte-identical RunResults mean every round picked the identical arm
+// sequence: parallelism changed scheduling, never bytes.
+func TestParallelScoringReproducesGoldens(t *testing.T) {
+	cases := []struct {
+		regime  Regime
+		rounds  int
+		fixture string
+	}{
+		{Static, 5, "golden_mab.json"},
+		{Shifting, 8, "golden_shifting_mab.json"},
+		{Random, 9, "golden_random_mab.json"},
+		{HTAP, 6, "golden_htap_mab.json"},
+	}
+	for _, c := range cases {
+		want, err := os.ReadFile(filepath.Join("testdata", c.fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, backend := range []string{linalg.BackendSM, linalg.BackendChol} {
+			for _, workers := range []int{1, 2, 4, 7} {
+				got := runGoldenFixture(t, c.regime, c.rounds, "mab", backend, workers)
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s backend=%s workers=%d: RunResult diverged from %s",
+						c.regime, backend, workers, c.fixture)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelScoringInertForNonMABGoldens covers the rest of the
+// committed fixture set: policies that never construct a bandit must be
+// bit-for-bit indifferent to the scoring worker knob. One elevated
+// setting suffices — the option can only reach a policy through
+// policyParams, and these policies have no scoring pool to hand it to;
+// this pins that the plumbing doesn't accidentally grow one.
+func TestParallelScoringInertForNonMABGoldens(t *testing.T) {
+	cases := []struct {
+		regime Regime
+		rounds int
+		prefix string
+		tuners []string
+	}{
+		{Static, 5, "", []string{"noindex", "pdtool", "ddqn", "ddqn-sc"}},
+		{Shifting, 8, "shifting_", []string{"noindex", "pdtool"}},
+		{Random, 9, "random_", []string{"noindex", "pdtool"}},
+	}
+	for _, c := range cases {
+		for _, name := range c.tuners {
+			fixture := "golden_" + c.prefix + name + ".json"
+			want, err := os.ReadFile(filepath.Join("testdata", fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runGoldenFixture(t, c.regime, c.rounds, name, "", 4)
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s/%s workers=4: RunResult diverged from %s", c.regime, name, fixture)
+			}
+		}
+	}
+	// The HTAP fixture set covers every registered policy; mab has its
+	// own multi-worker sweep above.
+	for _, name := range htapGoldenPolicies {
+		if name == "mab" {
+			continue
+		}
+		fixture := "golden_htap_" + name + ".json"
+		want, err := os.ReadFile(filepath.Join("testdata", fixture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runGoldenFixture(t, HTAP, 6, name, "", 4)
+		if !bytes.Equal(got, want) {
+			t.Errorf("htap/%s workers=4: RunResult diverged from %s", name, fixture)
+		}
+	}
+}

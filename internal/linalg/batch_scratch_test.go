@@ -1,0 +1,151 @@
+package linalg
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// scratchTestContexts builds a deterministic sparse context set (with a
+// couple of empty-support vectors mixed in — the batch kernels must
+// handle zero-nnz arms).
+func scratchTestContexts(dim, n int, seed int64) []SparseVector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]SparseVector, n)
+	for i := range out {
+		x := NewVector(dim)
+		if i%17 != 0 { // every 17th context stays all-zero
+			for k := 0; k < dim/6+1; k++ {
+				x[rng.Intn(dim)] = rng.NormFloat64()
+			}
+		}
+		out[i] = SparseFromDense(x)
+	}
+	return out
+}
+
+// TestBatchScratchShardsMatchSerial is the sharding contract test on
+// both backends: any partition of the context range into Scratch calls
+// — sequential or truly concurrent, each shard with its own scratch —
+// must produce bitwise the serial batch's output. Run under -race this
+// also proves the shared core is read-only during scoring.
+func TestBatchScratchShardsMatchSerial(t *testing.T) {
+	const dim, n = 40, 101
+	ctxs := scratchTestContexts(dim, n, 23)
+	for _, backend := range RidgeBackends() {
+		core, err := NewRidgeCore(backend, dim, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 30; i++ {
+			core.ObserveSparse(ctxs[rng.Intn(n)], rng.NormFloat64())
+		}
+
+		wantW := make([]float64, n)
+		core.ConfidenceWidthBatch(ctxs, wantW)
+		wantQ := make([]float64, n)
+		core.QuadraticFormBatch(ctxs, wantQ)
+
+		for _, workers := range []int{1, 2, 4, 7} {
+			// Sequential shards first: isolates partition correctness from
+			// scheduling.
+			gotW := make([]float64, n)
+			gotQ := make([]float64, n)
+			bounds := shardBounds(n, workers)
+			for sh := 0; sh+1 < len(bounds); sh++ {
+				s := NewBatchScratch(dim)
+				lo, hi := bounds[sh], bounds[sh+1]
+				core.ConfidenceWidthBatchScratch(ctxs[lo:hi], gotW[lo:hi], s)
+				core.QuadraticFormBatchScratch(ctxs[lo:hi], gotQ[lo:hi], s)
+			}
+			for i := range wantW {
+				if gotW[i] != wantW[i] || gotQ[i] != wantQ[i] {
+					t.Fatalf("%s workers=%d: sequential shard output[%d] diverged from serial", backend, workers, i)
+				}
+			}
+
+			// Then genuinely concurrent shards against the shared core.
+			gotW = make([]float64, n)
+			var wg sync.WaitGroup
+			for sh := 0; sh+1 < len(bounds); sh++ {
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					core.ConfidenceWidthBatchScratch(ctxs[lo:hi], gotW[lo:hi], NewBatchScratch(dim))
+				}(bounds[sh], bounds[sh+1])
+			}
+			wg.Wait()
+			for i := range wantW {
+				if gotW[i] != wantW[i] {
+					t.Fatalf("%s workers=%d: concurrent shard output[%d] = %v, serial %v",
+						backend, workers, i, gotW[i], wantW[i])
+				}
+			}
+		}
+
+		// Scratch reuse: a second pass through the same scratch must not
+		// read anything stale (pins the xbuf restore-to-zero discipline).
+		s := NewBatchScratch(dim)
+		first := make([]float64, n)
+		second := make([]float64, n)
+		core.ConfidenceWidthBatchScratch(ctxs, first, s)
+		core.ConfidenceWidthBatchScratch(ctxs, second, s)
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("%s: scratch reuse changed output[%d]: %v then %v", backend, i, first[i], second[i])
+			}
+		}
+	}
+}
+
+// shardBounds mirrors runner.Sharded's partition (first n%w shards one
+// extra item) without importing it — linalg must not depend on runner.
+func shardBounds(n, workers int) []int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	base, rem := n/workers, n%workers
+	bounds := []int{0}
+	for sh := 0; sh < workers; sh++ {
+		hi := bounds[len(bounds)-1] + base
+		if sh < rem {
+			hi++
+		}
+		bounds = append(bounds, hi)
+	}
+	return bounds
+}
+
+// TestBatchScratchValidation pins the fail-fast surface: mismatched
+// output length panics on both backends; a wrong-dimension scratch
+// panics on the backend that uses it.
+func TestBatchScratchValidation(t *testing.T) {
+	const dim = 8
+	ctxs := scratchTestContexts(dim, 4, 1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	for _, backend := range RidgeBackends() {
+		core, err := NewRidgeCore(backend, dim, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustPanic(backend+" length mismatch", func() {
+			core.QuadraticFormBatchScratch(ctxs, make([]float64, 2), NewBatchScratch(dim))
+		})
+	}
+	chol := NewCholState(dim, 0.25)
+	mustPanic("chol scratch dimension", func() {
+		chol.QuadraticFormBatchScratch(ctxs, make([]float64, len(ctxs)), NewBatchScratch(dim+3))
+	})
+	mustPanic("zero scratch dimension", func() { NewBatchScratch(0) })
+}

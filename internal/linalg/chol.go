@@ -39,8 +39,10 @@ type CholState struct {
 	theta      Vector
 	thetaValid bool
 
-	work Vector // cholupdate rotation vector / solve intermediate
-	xbuf Vector // densified sparse context scratch
+	work       Vector        // rank-1 input w, loaded by Observe/ObserveSparse/Forget
+	rotc, rots Vector        // per-column rotation coefficients of the fused cholupdate
+	rotk       []int         // columns with genuine (non-identity) rotations, in order
+	scratch    *BatchScratch // serial scoring scratch; sharded scorers bring their own
 }
 
 // NewCholState initialises L = sqrt(lambda)*I (so V = lambda*I), b = 0.
@@ -52,12 +54,15 @@ func NewCholState(dim int, lambda float64) *CholState {
 		panic(fmt.Sprintf("linalg: ridge lambda must be positive, got %g", lambda))
 	}
 	return &CholState{
-		Dim:    dim,
-		L:      Identity(dim, math.Sqrt(lambda)),
-		B:      NewVector(dim),
-		Lambda: lambda,
-		work:   NewVector(dim),
-		xbuf:   NewVector(dim),
+		Dim:     dim,
+		L:       Identity(dim, math.Sqrt(lambda)),
+		B:       NewVector(dim),
+		Lambda:  lambda,
+		work:    NewVector(dim),
+		rotc:    NewVector(dim),
+		rots:    NewVector(dim),
+		rotk:    make([]int, 0, dim),
+		scratch: NewBatchScratch(dim),
 	}
 }
 
@@ -118,74 +123,166 @@ func (cs *CholState) ObserveSparse(x SparseVector, reward float64) {
 }
 
 // cholUpdate applies the rank-1 update V <- V + w w' directly to the
-// factor (LINPACK dchud form): for each column k it builds the rotation
-// eliminating w[k] against L[k][k] and carries it down the column.
-// Consumes cs.work (the caller loads w into it; it is scratch
-// afterwards). Columns with w[k] == 0 rotate by the identity and are
-// skipped, so a sparse w costs O((d-k0)·d) with k0 its first non-zero.
+// factor, reading w from cs.work. It leaves cs.work untouched: the
+// fused sweep carries each row's evolving w entry in a register and the
+// rotation coefficients in cs.rotc/cs.rots, so the input vector is
+// never written back (the property CholState.Forget's diagonal sweep
+// exploits to avoid rezeroing scratch).
 func (cs *CholState) cholUpdate() {
 	n := cs.Dim
 	w := cs.work
+	k0 := 0
+	for k0 < n && w[k0] == 0 {
+		k0++
+	}
+	cs.cholUpdateFrom(k0)
+}
+
+// cholUpdateFrom is the fused row-major form of the rank-1 cholupdate,
+// for an input w (in cs.work) whose entries before k0 are all zero. The
+// classic column-sweep form visits L column by column — a stride-n
+// access pattern on the row-major backing array, with a division on
+// every element. This form makes one pass over the rows instead: row i
+// applies the rotations of columns k0..i-1 to L[i][k] and to a register
+// copy of w[i] (the rotation coefficients were recorded by earlier
+// rows in cs.rotc/cs.rots), then forms its own pivot rotation against
+// the diagonal.
+//
+// The rotations are proper Givens rotations, c_k = L[k][k]/r and
+// s_k = w_k/r with r = sqrt(L[k][k]² + w_k²): the element update is
+// two fused multiply-adds with no division, and the serial dependency
+// the row register carries (wi <- c*wi - s*lik) is a single
+// multiply-add chain. The algebraically equivalent hyperbolic form
+// ((lik + s*wi)/c with c = r/L[k][k]) puts a divide on that chain and
+// runs several times slower latency-bound, which — not the memory
+// stride — is what dominated the pre-fused kernel.
+//
+// Columns whose working entry is exactly zero at their pivot rotate by
+// the identity; they are never entered in cs.rotk, the ordered list of
+// genuine rotation columns each row sweeps, so a sparse w before
+// fill-in costs only its genuine rotations — the row-major counterpart
+// of the column sweep's O(1) column skip, without a per-element
+// sentinel check in the dense case.
+// The sweep is blocked two rows at a time: the chain through row i and
+// the chain through row i+1 are independent, so pairing them keeps two
+// fused multiply-adds in flight and roughly halves the latency bound a
+// single chain pins the kernel to.
+func (cs *CholState) cholUpdateFrom(k0 int) {
+	n := cs.Dim
+	w := cs.work
 	data := cs.L.Data
-	for k := 0; k < n; k++ {
-		wk := w[k]
-		if wk == 0 {
-			continue
+	c, s := cs.rotc, cs.rots
+	act := cs.rotk[:0]
+	i := k0
+	for ; i+1 < n; i += 2 {
+		wi, wj := w[i], w[i+1]
+		rowi := data[i*n : i*n+i]
+		rowj := data[(i+1)*n : (i+1)*n+i+1]
+		for _, k := range act {
+			ck, sk := c[k], s[k]
+			lik := rowi[k]
+			rowi[k] = ck*lik + sk*wi
+			wi = ck*wi - sk*lik
+			ljk := rowj[k]
+			rowj[k] = ck*ljk + sk*wj
+			wj = ck*wj - sk*ljk
 		}
-		lkk := data[k*n+k]
-		r := math.Sqrt(lkk*lkk + wk*wk)
-		c := r / lkk
-		s := wk / lkk
-		data[k*n+k] = r
-		for i := k + 1; i < n; i++ {
-			lik := (data[i*n+k] + s*w[i]) / c
-			w[i] = c*w[i] - s*lik
-			data[i*n+k] = lik
+		if wi != 0 {
+			lii := data[i*n+i]
+			r := math.Sqrt(lii*lii + wi*wi)
+			ci, si := lii/r, wi/r
+			c[i], s[i] = ci, si
+			data[i*n+i] = r
+			act = append(act, i)
+			lji := rowj[i]
+			rowj[i] = ci*lji + si*wj
+			wj = ci*wj - si*lji
+		}
+		if wj != 0 {
+			ljj := data[(i+1)*n+i+1]
+			r := math.Sqrt(ljj*ljj + wj*wj)
+			c[i+1], s[i+1] = ljj/r, wj/r
+			data[(i+1)*n+i+1] = r
+			act = append(act, i+1)
+		}
+	}
+	if i < n {
+		wi := w[i]
+		row := data[i*n : i*n+i]
+		for _, k := range act {
+			ck, sk := c[k], s[k]
+			lik := row[k]
+			row[k] = ck*lik + sk*wi
+			wi = ck*wi - sk*lik
+		}
+		if wi != 0 {
+			lii := data[i*n+i]
+			r := math.Sqrt(lii*lii + wi*wi)
+			c[i], s[i] = lii/r, wi/r
+			data[i*n+i] = r
 		}
 	}
 }
 
 // ConfidenceWidth returns sqrt(x' V^{-1} x) = ||L^{-1} x|| by one
 // forward solve. quadSolve only reads its right-hand side, so x is
-// passed directly (xbuf must stay all-zero for the sparse paths).
+// passed directly (the scratch's xbuf must stay all-zero for the sparse
+// paths).
 func (cs *CholState) ConfidenceWidth(x Vector) float64 {
 	if len(x) != cs.Dim {
 		panic(fmt.Sprintf("linalg: width dimension %d, want %d", len(x), cs.Dim))
 	}
-	return widthFromQuad(cs.quadSolve(x, 0))
+	return widthFromQuad(cs.quadSolve(x, 0, cs.scratch.z))
 }
 
 // ConfidenceWidthSparse is ConfidenceWidth for a sparse context; the
 // solve starts at the context's first non-zero index (all earlier
 // intermediate entries are exactly zero).
 func (cs *CholState) ConfidenceWidthSparse(x SparseVector) float64 {
-	return widthFromQuad(cs.quadSparse(x))
+	return widthFromQuad(cs.quadSparse(x, cs.scratch))
 }
 
 // QuadraticFormBatch computes x' V^{-1} x for every context into out in
-// one pass, reusing the solve scratch across arms — the per-arm
-// triangular solve without per-arm allocation.
+// one pass, reusing the state-owned solve scratch across arms — the
+// per-arm triangular solve without per-arm allocation.
 func (cs *CholState) QuadraticFormBatch(xs []SparseVector, out []float64) {
-	if len(xs) != len(out) {
-		panic(fmt.Sprintf("linalg: batch length mismatch %d contexts, %d outputs", len(xs), len(out)))
-	}
-	for i, x := range xs {
-		out[i] = cs.quadSparse(x)
-	}
+	cs.QuadraticFormBatchScratch(xs, out, cs.scratch)
 }
 
 // ConfidenceWidthBatch computes sqrt(x' V^{-1} x) for every context into
 // out; each entry is bit-identical to ConfidenceWidthSparse.
 func (cs *CholState) ConfidenceWidthBatch(xs []SparseVector, out []float64) {
-	cs.QuadraticFormBatch(xs, out)
+	cs.ConfidenceWidthBatchScratch(xs, out, cs.scratch)
+}
+
+// QuadraticFormBatchScratch is the sharded batch kernel: it reads only
+// the factor (immutable during scoring) and works entirely in the
+// supplied scratch, so concurrent calls over disjoint shards — each
+// with its own scratch — are safe and bit-identical to a serial pass.
+func (cs *CholState) QuadraticFormBatchScratch(xs []SparseVector, out []float64, s *BatchScratch) {
+	if len(xs) != len(out) {
+		panic(fmt.Sprintf("linalg: batch length mismatch %d contexts, %d outputs", len(xs), len(out)))
+	}
+	if len(s.z) != cs.Dim {
+		panic(fmt.Sprintf("linalg: batch scratch dimension %d, want %d", len(s.z), cs.Dim))
+	}
+	for i, x := range xs {
+		out[i] = cs.quadSparse(x, s)
+	}
+}
+
+// ConfidenceWidthBatchScratch is ConfidenceWidthBatch through
+// caller-supplied scratch, with the same sharding contract.
+func (cs *CholState) ConfidenceWidthBatchScratch(xs []SparseVector, out []float64, s *BatchScratch) {
+	cs.QuadraticFormBatchScratch(xs, out, s)
 	for i, q := range out {
 		out[i] = widthFromQuad(q)
 	}
 }
 
-// quadSparse scatters x into the dense scratch and solves from its
-// first non-zero row, restoring the scratch to zero afterwards.
-func (cs *CholState) quadSparse(x SparseVector) float64 {
+// quadSparse scatters x into the scratch's dense buffer and solves from
+// its first non-zero row, restoring the buffer to zero afterwards.
+func (cs *CholState) quadSparse(x SparseVector, s *BatchScratch) float64 {
 	if x.Dim != cs.Dim {
 		panic(fmt.Sprintf("linalg: width dimension %d, want %d", x.Dim, cs.Dim))
 	}
@@ -193,22 +290,20 @@ func (cs *CholState) quadSparse(x SparseVector) float64 {
 		return 0
 	}
 	for k, i := range x.Idx {
-		cs.xbuf[i] = x.Val[k]
+		s.xbuf[i] = x.Val[k]
 	}
-	q := cs.quadSolve(cs.xbuf, x.Idx[0])
+	q := cs.quadSolve(s.xbuf, x.Idx[0], s.z)
 	for _, i := range x.Idx {
-		cs.xbuf[i] = 0
+		s.xbuf[i] = 0
 	}
 	return q
 }
 
 // quadSolve computes ||L^{-1} b||² for the right-hand side b, which must
-// be zero before row start. The intermediate z = L^{-1} b lands in
-// cs.work; b is left untouched above start and overwritten is avoided
-// entirely (b is read-only here).
-func (cs *CholState) quadSolve(b Vector, start int) float64 {
+// be zero before row start. The intermediate z = L^{-1} b lands in the
+// supplied z scratch; b is read-only here.
+func (cs *CholState) quadSolve(b Vector, start int, z Vector) float64 {
 	n := cs.Dim
-	z := cs.work
 	data := cs.L.Data
 	var q float64
 	for i := start; i < n; i++ {
@@ -227,10 +322,14 @@ func (cs *CholState) quadSolve(b Vector, start int) float64 {
 // Forget discounts accumulated knowledge toward the prior by factor
 // gamma in [0, 1], matching the Sherman–Morrison backend's semantics:
 // V <- (1-gamma)*V + gamma*lambda*I, b <- (1-gamma)*b. On the factor
-// this is a scale by sqrt(1-gamma) followed by one diagonal cholupdate
-// per dimension (each skips all columns before its non-zero, so the
-// total is one Cholesky-refactorisation's worth of work — and Forget
-// only runs on detected workload shifts).
+// this is a scale by sqrt(1-gamma) followed by one fused diagonal
+// sweep: pass i applies the rank-1 update sqrt(gamma*lambda)*e_i
+// starting directly at its pivot column i (every earlier column rotates
+// by the identity), so no pass scans or rezeroes scratch it never
+// touches — the pre-fused form rezeroed the full work vector and
+// re-scanned all leading columns d times over. The flops are one
+// refactorisation's worth, bit-identical to d sequential cholupdates,
+// and Forget only runs on detected workload shifts.
 func (cs *CholState) Forget(gamma float64) {
 	if gamma <= 0 {
 		return
@@ -245,12 +344,16 @@ func (cs *CholState) Forget(gamma float64) {
 	cs.L.ScaleInPlace(math.Sqrt(keep))
 	cs.B.Scale(keep)
 	add := math.Sqrt(gamma * cs.Lambda)
+	w := cs.work
+	for j := range w {
+		w[j] = 0
+	}
+	// cholUpdateFrom never writes its input vector, so between passes
+	// only the single previously-set entry needs clearing.
 	for i := 0; i < cs.Dim; i++ {
-		for j := range cs.work {
-			cs.work[j] = 0
-		}
-		cs.work[i] = add
-		cs.cholUpdate()
+		w[i] = add
+		cs.cholUpdateFrom(i)
+		w[i] = 0
 	}
 	cs.thetaValid = false
 }

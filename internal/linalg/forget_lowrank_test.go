@@ -1,0 +1,199 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmRidgeForForget builds a RidgeState with a randomized observation
+// history and both rebase schedules disabled, so the maintained inverse
+// entering Forget — and everything Forget does to it — is exactly the
+// path under test. Identical (dim, steps, seed) calls build bitwise
+// identical states.
+func warmRidgeForForget(dim, steps int, seed int64) *RidgeState {
+	rng := rand.New(rand.NewSource(seed))
+	rs := NewRidgeState(dim, 0.25)
+	rs.RebaseEvery = 1 << 30
+	rs.DriftThreshold = -1
+	for s := 0; s < steps; s++ {
+		x := NewVector(dim)
+		for k := 0; k < dim/5+1; k++ {
+			x[rng.Intn(dim)] = rng.NormFloat64()
+		}
+		if s%2 == 0 {
+			rs.Observe(x, rng.NormFloat64()*10)
+		} else {
+			rs.ObserveSparse(SparseFromDense(x), rng.NormFloat64()*10)
+		}
+	}
+	return rs
+}
+
+func matrixMaxAbs(m *Matrix) float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// TestForgetLowRankFullBudgetMatchesRebase is the agreement test against
+// the exact-rebase oracle: with the budget covering every coordinate
+// (ForgetRank >= Dim) the structured correction is mathematically exact,
+// so the maintained inverse, theta, and probe widths must match the
+// refactorisation's within tight floating-point agreement (different
+// factorisations of the same V — 1e-8 relative, not bit-identity).
+func TestForgetLowRankFullBudgetMatchesRebase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		dim, steps int
+		gamma      float64
+		rank       int
+	}{
+		{8, 60, 0.3, 8},
+		{24, 150, 0.5, 24},
+		{48, 300, 0.7, 48 + 5}, // over-budget clamps to Dim
+	} {
+		exact := warmRidgeForForget(tc.dim, tc.steps, int64(tc.dim))
+		low := warmRidgeForForget(tc.dim, tc.steps, int64(tc.dim))
+		low.ForgetRank = tc.rank
+		preSince, preDrift := low.SinceRebase(), low.Drift()
+
+		exact.Forget(tc.gamma)
+		low.Forget(tc.gamma)
+
+		scale := 1 + matrixMaxAbs(exact.VInv)
+		if d := exact.VInv.MaxAbsDiff(low.VInv); d > 1e-8*scale {
+			t.Fatalf("dim=%d gamma=%g: VInv diverged from rebase oracle by %g", tc.dim, tc.gamma, d)
+		}
+		te, tl := exact.ThetaCached(), low.ThetaCached()
+		tScale := 1 + te.MaxAbs()
+		for i := range te {
+			if d := math.Abs(te[i] - tl[i]); d > 1e-8*tScale {
+				t.Fatalf("dim=%d: theta[%d] diverged: exact=%g lowrank=%g", tc.dim, i, te[i], tl[i])
+			}
+		}
+		for probe := 0; probe < 10; probe++ {
+			x := NewVector(tc.dim)
+			for k := 0; k < tc.dim/5+1; k++ {
+				x[rng.Intn(tc.dim)] = rng.NormFloat64()
+			}
+			we, wl := exact.ConfidenceWidth(x), low.ConfidenceWidth(x)
+			if math.Abs(we-wl) > 1e-8*(1+we) {
+				t.Fatalf("dim=%d probe %d: width diverged: exact=%g lowrank=%g", tc.dim, probe, we, wl)
+			}
+		}
+		// The full-budget correction is exact, yet it is still rank-1
+		// arithmetic on the inverse: the drift ledger must account for it —
+		// one since-rebase tick per coordinate step, on top of the
+		// observation history's.
+		if low.Drift() <= preDrift || low.SinceRebase() != preSince+tc.dim {
+			t.Fatalf("dim=%d: drift ledger not charged: drift %g->%g sinceRebase %d->%d",
+				tc.dim, preDrift, low.Drift(), preSince, low.SinceRebase())
+		}
+		// The oracle rebased: its ledger is clean.
+		if exact.Drift() != 0 || exact.SinceRebase() != 0 {
+			t.Fatalf("dim=%d: exact Forget did not rebase: drift=%g sinceRebase=%d",
+				tc.dim, exact.Drift(), exact.SinceRebase())
+		}
+	}
+}
+
+// TestForgetLowRankPartialBudget pins the budgeted path's semantics: a
+// budget k < Dim applies exactly k coordinate corrections (largest
+// q/(1+q) first), strictly improves on the scale-only inverse it starts
+// from, and charges the drift ledger for applied and skipped mass alike.
+func TestForgetLowRankPartialBudget(t *testing.T) {
+	const dim, steps = 32, 200
+	const gamma = 0.5
+	k := dim / 4
+
+	oracle := warmRidgeForForget(dim, steps, 3)
+	low := warmRidgeForForget(dim, steps, 3)
+	low.ForgetRank = k
+	preSince, preDrift := low.SinceRebase(), low.Drift()
+
+	// The scale-only inverse (uniform part of the discount, no identity
+	// top-up at all) is what the budget improves on.
+	keep := 1 - gamma
+	scaleOnly := low.VInv.Clone()
+	for i := range scaleOnly.Data {
+		scaleOnly.Data[i] /= keep
+	}
+
+	oracle.Forget(gamma)
+	low.Forget(gamma)
+
+	errLow := oracle.VInv.MaxAbsDiff(low.VInv)
+	errScaleOnly := oracle.VInv.MaxAbsDiff(scaleOnly)
+	if errLow >= errScaleOnly {
+		t.Fatalf("budget k=%d did not improve on scale-only: err %g vs %g", k, errLow, errScaleOnly)
+	}
+	if errLow == 0 {
+		t.Fatalf("partial budget bit-matched the oracle — test is vacuous")
+	}
+	if low.SinceRebase() != preSince+k {
+		t.Fatalf("sinceRebase %d->%d, want exactly +%d (the budget)", preSince, low.SinceRebase(), k)
+	}
+	if low.Drift() <= preDrift {
+		t.Fatalf("drift ledger not charged: %g->%g", preDrift, low.Drift())
+	}
+
+	// Determinism: the identical state forgets to the identical bits
+	// (pins the priority order's index tie-break).
+	again := warmRidgeForForget(dim, steps, 3)
+	again.ForgetRank = k
+	again.Forget(gamma)
+	if d := low.VInv.MaxAbsDiff(again.VInv); d != 0 {
+		t.Fatalf("low-rank Forget not deterministic: reruns differ by %g", d)
+	}
+}
+
+// TestForgetLowRankDriftFallback pins the safety net: when the drift
+// score crosses the adaptive threshold during a budgeted Forget, the
+// exact rebase fires — leaving the very inverse the exact path would
+// have produced, bit for bit, with a clean ledger.
+func TestForgetLowRankDriftFallback(t *testing.T) {
+	const dim, steps = 16, 80
+	exact := warmRidgeForForget(dim, steps, 9)
+	low := warmRidgeForForget(dim, steps, 9)
+	low.ForgetRank = 4
+	low.DriftThreshold = 1e-9 // any applied correction trips it
+
+	exact.Forget(0.4)
+	low.Forget(0.4)
+
+	if low.SinceRebase() != 0 || low.Drift() != 0 {
+		t.Fatalf("fallback rebase did not fire: sinceRebase=%d drift=%g", low.SinceRebase(), low.Drift())
+	}
+	// Both paths updated V identically and then inverted it exactly.
+	if d := exact.VInv.MaxAbsDiff(low.VInv); d != 0 {
+		t.Fatalf("post-fallback inverse differs from the exact path by %g", d)
+	}
+}
+
+// TestForgetLowRankFullForgetRoutesExact pins the gamma >= 1 edge: a
+// full forget has keep == 0 (the scale-only inverse does not exist), so
+// the budgeted path must route to the exact rebase regardless of
+// ForgetRank — bit-identical to the default path.
+func TestForgetLowRankFullForgetRoutesExact(t *testing.T) {
+	const dim = 12
+	exact := warmRidgeForForget(dim, 50, 5)
+	low := warmRidgeForForget(dim, 50, 5)
+	low.ForgetRank = dim
+
+	exact.Forget(1)
+	low.Forget(1.5) // clamps to 1
+	if d := exact.VInv.MaxAbsDiff(low.VInv); d != 0 {
+		t.Fatalf("full forget with ForgetRank set diverged from exact path by %g", d)
+	}
+	if low.SinceRebase() != 0 || low.Drift() != 0 {
+		t.Fatalf("full forget left a dirty ledger: sinceRebase=%d drift=%g", low.SinceRebase(), low.Drift())
+	}
+	if low.B.MaxAbs() != 0 {
+		t.Fatalf("full forget did not clear b")
+	}
+}

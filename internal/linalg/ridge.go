@@ -3,6 +3,7 @@ package linalg
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // RidgeState maintains the sufficient statistics of the C2UCB ridge
@@ -46,6 +47,19 @@ type RidgeState struct {
 	// drift score reaches it. 0 means the default (48); negative disables
 	// the adaptive schedule, leaving only the fixed cadence.
 	DriftThreshold float64
+	// ForgetRank, when positive, replaces Forget's exact O(d³)
+	// refactorisation with a structured O(k·d²) correction: the
+	// discount-toward-prior perturbation is absorbed by k budgeted
+	// diagonal Sherman–Morrison updates (see forgetLowRank). k >= Dim is
+	// mathematically exact; smaller budgets leave the residual
+	// perturbation accounted in the drift score, so the existing adaptive
+	// rebase is the fallback. 0 (the default) keeps the exact rebase —
+	// every committed golden was captured under it.
+	ForgetRank int
+
+	// forgetLowRank scratch, lazily allocated on first use.
+	forgetU   Vector
+	forgetOrd []int
 }
 
 const (
@@ -121,6 +135,20 @@ func (rs *RidgeState) ConfidenceWidthBatch(xs []SparseVector, out []float64) {
 	for i, q := range out {
 		out[i] = widthFromQuad(q)
 	}
+}
+
+// QuadraticFormBatchScratch is the sharded batch kernel. The sparse
+// quadratic form reads only the maintained inverse — no scratch at all
+// — so the scratch argument is accepted for interface uniformity and
+// ignored; concurrent shard calls are safe as long as no mutation runs.
+func (rs *RidgeState) QuadraticFormBatchScratch(xs []SparseVector, out []float64, _ *BatchScratch) {
+	rs.QuadraticFormBatch(xs, out)
+}
+
+// ConfidenceWidthBatchScratch is ConfidenceWidthBatch under the sharded
+// contract (scratch-free on this backend, like QuadraticFormBatchScratch).
+func (rs *RidgeState) ConfidenceWidthBatchScratch(xs []SparseVector, out []float64, _ *BatchScratch) {
+	rs.ConfidenceWidthBatch(xs, out)
 }
 
 func widthFromQuad(q float64) float64 {
@@ -201,6 +229,10 @@ func (rs *RidgeState) afterRank1(denom float64) {
 // gamma in [0, 1]: 0 keeps everything, 1 resets to lambda*I / 0. The MAB
 // uses this to adapt to workload shifts (Section IV, "the learner can
 // forget learned knowledge depending on the workload shift intensity").
+//
+// V itself is always updated exactly. The maintained inverse follows by
+// either a full exact rebase (the default, O(d³)) or — when ForgetRank
+// is set — the structured O(k·d²) correction of forgetLowRank.
 func (rs *RidgeState) Forget(gamma float64) {
 	if gamma <= 0 {
 		return
@@ -221,7 +253,101 @@ func (rs *RidgeState) Forget(gamma float64) {
 		rs.V.Data[i*n+i] += add
 	}
 	rs.B.Scale(keep)
+	if rs.ForgetRank > 0 && keep > 0 {
+		rs.forgetLowRank(gamma, keep)
+		return
+	}
 	rs.rebase()
+}
+
+// forgetLowRank maintains the inverse through a Forget without the full
+// refactorisation. The discount splits into two parts with very
+// different costs:
+//
+//   - the uniform scale keep*V, whose inverse is exactly VInv/keep —
+//     one O(d²) pass, no approximation at all;
+//   - the rank-d identity top-up +gamma*lambda*I, absorbed coordinate
+//     by coordinate: adding c*e_i e_i' (c = gamma*lambda) to V updates
+//     the inverse by the diagonal Sherman–Morrison step
+//     VInv -= (c / (1 + c*VInv[i][i])) * u u',   u = VInv e_i,
+//     each O(d²).
+//
+// ForgetRank budgets how many of the d coordinate steps run. They are
+// applied in order of correction weight q/(1+q) with q = c*VInv[i][i] —
+// the same currency the Observe drift score uses, largest first, ties
+// broken by index so the order is deterministic. Applied steps add
+// their q/(1+q) to the drift score exactly as observations do (one more
+// generation of rank-1 arithmetic on the inverse); the steps the budget
+// skips add theirs too, as genuinely unabsorbed perturbation. The
+// existing rebase schedule therefore remains the safety net: skip
+// enough mass often enough and the adaptive threshold forces the exact
+// refactorisation. With ForgetRank >= Dim every step runs and the
+// result is mathematically exact (agreement-tested against the rebase
+// oracle).
+func (rs *RidgeState) forgetLowRank(gamma, keep float64) {
+	n := rs.Dim
+	inv := 1 / keep
+	for i := range rs.VInv.Data {
+		rs.VInv.Data[i] *= inv
+	}
+	c := gamma * rs.Lambda
+	if rs.forgetOrd == nil {
+		rs.forgetOrd = make([]int, n)
+		rs.forgetU = NewVector(n)
+	}
+	ord := rs.forgetOrd
+	for i := range ord {
+		ord[i] = i
+	}
+	// q is monotone in VInv[i][i], so sorting on the diagonal directly
+	// gives the q/(1+q) priority order.
+	sort.Slice(ord, func(a, b int) bool {
+		da := rs.VInv.Data[ord[a]*n+ord[a]]
+		db := rs.VInv.Data[ord[b]*n+ord[b]]
+		if da != db {
+			return da > db
+		}
+		return ord[a] < ord[b]
+	})
+	k := rs.ForgetRank
+	if k > n {
+		k = n
+	}
+	u := rs.forgetU
+	for _, i := range ord[:k] {
+		vii := rs.VInv.Data[i*n+i]
+		q := c * vii
+		beta := c / (1 + q)
+		copy(u, rs.VInv.Data[i*n:(i+1)*n]) // row i == VInv e_i (symmetric)
+		for r := 0; r < n; r++ {
+			ur := beta * u[r]
+			if ur == 0 {
+				continue
+			}
+			row := rs.VInv.Data[r*n : (r+1)*n]
+			for j, uj := range u {
+				row[j] -= ur * uj
+			}
+		}
+		rs.drift += q / (1 + q)
+		rs.sinceRebase++
+	}
+	for _, i := range ord[k:] {
+		q := c * rs.VInv.Data[i*n+i]
+		rs.drift += q / (1 + q)
+	}
+	rs.thetaValid = false
+	every := rs.RebaseEvery
+	if every == 0 {
+		every = defaultRebaseEvery
+	}
+	threshold := rs.DriftThreshold
+	if threshold == 0 {
+		threshold = defaultDriftThreshold
+	}
+	if rs.sinceRebase >= every || (threshold > 0 && rs.drift >= threshold) {
+		rs.rebase()
+	}
 }
 
 // rebase recomputes VInv from V exactly, discarding Sherman–Morrison

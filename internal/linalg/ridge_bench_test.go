@@ -147,4 +147,46 @@ func BenchmarkRidgeForget(b *testing.B) {
 	}
 }
 
+// BenchmarkCholObserveFused isolates one steady-state sparse rank-1
+// cholupdate on a warm factor at the TPC-DS dimension — the per-observe
+// cost the fused row-major sweep optimises. BenchmarkCholObserve wraps
+// 48 of these plus state construction per iteration; this is the
+// number the <100µs per-observe target is quoted against.
+func BenchmarkCholObserveFused(b *testing.B) {
+	const dim = 83
+	contexts := SparseAll(benchContexts(dim, 48, 1))
+	cs := NewCholState(dim, 0.25)
+	for _, x := range contexts {
+		cs.ObserveSparse(x, 1.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.ObserveSparse(contexts[i%len(contexts)], 1.0)
+	}
+}
+
+// BenchmarkForgetLowRank measures the budgeted O(k·d²) structured
+// Forget on the same warm state shape as BenchmarkRidgeForget (whose
+// exact-rebase default is the baseline). The rebase schedules are
+// disabled so every iteration times the low-rank correction itself,
+// never an amortised exact refactorisation the repeated-Forget loop
+// would otherwise trip.
+func BenchmarkForgetLowRank(b *testing.B) {
+	const dim = 64
+	contexts := benchContexts(dim, 32, 2)
+	rs := NewRidgeState(dim, 0.25)
+	rs.ForgetRank = 8
+	rs.RebaseEvery = 1 << 30
+	rs.DriftThreshold = -1
+	for _, x := range contexts {
+		rs.Observe(x, 1.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Forget(0.5)
+	}
+}
+
 var benchSink float64

@@ -1,0 +1,111 @@
+package mab
+
+import (
+	"testing"
+
+	"dbabandits/internal/linalg"
+)
+
+// TestParallelScoresBitIdentical is the determinism contract at the
+// bandit level: Scores and ExpectedScores over the full TPC-DS
+// candidate set (well past the parallel cutoff) must be byte-identical
+// at every worker count, on both ridge backends — parallelism changes
+// scheduling, never bytes. Run under -race this also exercises the
+// shared-core read-only discipline end to end.
+func TestParallelScoresBitIdentical(t *testing.T) {
+	for _, backend := range linalg.RidgeBackends() {
+		bandit, ctxs, _ := tpcdsScoresFixtureBackend(t, backend)
+		if len(ctxs) < parallelScoreMinArms {
+			t.Fatalf("%s: fixture has %d arms, below the parallel cutoff %d — test is vacuous",
+				backend, len(ctxs), parallelScoreMinArms)
+		}
+		wantScores := bandit.Scores(ctxs)
+		wantExpected := bandit.ExpectedScores(ctxs)
+		for _, workers := range []int{1, 2, 4, 7} {
+			bandit.SetScoreWorkers(workers)
+			if got := bandit.ScoreWorkers(); got != workers {
+				t.Fatalf("%s: SetScoreWorkers(%d) read back %d", backend, workers, got)
+			}
+			gotScores := bandit.Scores(ctxs)
+			gotExpected := bandit.ExpectedScores(ctxs)
+			for i := range wantScores {
+				if gotScores[i] != wantScores[i] {
+					t.Fatalf("%s workers=%d: Scores[%d] = %v, serial %v",
+						backend, workers, i, gotScores[i], wantScores[i])
+				}
+				if gotExpected[i] != wantExpected[i] {
+					t.Fatalf("%s workers=%d: ExpectedScores[%d] = %v, serial %v",
+						backend, workers, i, gotExpected[i], wantExpected[i])
+				}
+			}
+		}
+
+		// Below the cutoff the serial path runs regardless of the setting —
+		// and is, of course, still identical.
+		small := ctxs[:parallelScoreMinArms-1]
+		bandit.SetScoreWorkers(4)
+		wantSmall := bandit.Scores(small)
+		bandit.SetScoreWorkers(1)
+		gotSmall := bandit.Scores(small)
+		for i := range wantSmall {
+			if gotSmall[i] != wantSmall[i] {
+				t.Fatalf("%s: sub-cutoff scores differ at %d", backend, i)
+			}
+		}
+	}
+}
+
+// TestForgetRankThreading pins the knob plumbing: TunerOptions.ForgetRank
+// and ScoreWorkers reach the bandit, ForgetRank reaches the SM ridge
+// state (and is a silent no-op on the factored backend), and a
+// snapshot/restore round-trip re-applies both — configuration is not
+// state, so the restored bandit must behave like the original without
+// the checkpoint carrying it.
+func TestForgetRankThreading(t *testing.T) {
+	schema, db, _ := tpcdsBenchFixture(t, 1)
+	dbSize := db.DataSizeBytes()
+	tuner := NewTuner(schema, dbSize, TunerOptions{
+		RidgeBackend: linalg.BackendSM,
+		ScoreWorkers: 3,
+		ForgetRank:   16,
+	})
+	bandit := tuner.Bandit()
+	if bandit.ScoreWorkers() != 3 {
+		t.Fatalf("ScoreWorkers not threaded: %d", bandit.ScoreWorkers())
+	}
+	rs, ok := bandit.state.(*linalg.RidgeState)
+	if !ok {
+		t.Fatalf("sm backend state is %T", bandit.state)
+	}
+	if rs.ForgetRank != 16 {
+		t.Fatalf("ForgetRank not threaded to ridge state: %d", rs.ForgetRank)
+	}
+
+	snap := bandit.Snapshot()
+	if err := bandit.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	rs2, ok := bandit.state.(*linalg.RidgeState)
+	if !ok {
+		t.Fatalf("restored state is %T", bandit.state)
+	}
+	if rs2 == rs {
+		t.Fatal("restore did not rebuild the ridge core — re-application untested")
+	}
+	if rs2.ForgetRank != 16 {
+		t.Fatalf("restore dropped ForgetRank: %d", rs2.ForgetRank)
+	}
+	if bandit.ScoreWorkers() != 3 {
+		t.Fatalf("restore dropped ScoreWorkers: %d", bandit.ScoreWorkers())
+	}
+
+	// The factored backend has no inverse to budget: the setter must be a
+	// no-op, not a crash.
+	cholTuner := NewTuner(schema, dbSize, TunerOptions{
+		RidgeBackend: linalg.BackendChol,
+		ForgetRank:   16,
+	})
+	if _, ok := cholTuner.Bandit().state.(*linalg.CholState); !ok {
+		t.Fatalf("chol tuner state is %T", cholTuner.Bandit().state)
+	}
+}

@@ -1,6 +1,7 @@
 package mab
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -61,13 +62,13 @@ func BenchmarkTunerRecommendTPCDS(b *testing.B) {
 // tpcdsScoresFixture prepares every TPC-DS candidate arm's context plus a
 // warmed bandit (VInv no longer diagonal — the realistic steady-state
 // shape for the quadratic form).
-func tpcdsScoresFixture(b *testing.B) (*C2UCB, []linalg.SparseVector, int) {
+func tpcdsScoresFixture(b testing.TB) (*C2UCB, []linalg.SparseVector, int) {
 	return tpcdsScoresFixtureBackend(b, linalg.BackendSM)
 }
 
 // tpcdsScoresFixtureBackend is tpcdsScoresFixture on the named ridge
 // backend.
-func tpcdsScoresFixtureBackend(b *testing.B, backend string) (*C2UCB, []linalg.SparseVector, int) {
+func tpcdsScoresFixtureBackend(b testing.TB, backend string) (*C2UCB, []linalg.SparseVector, int) {
 	b.Helper()
 	schema, db, wls := tpcdsBenchFixture(b, 1)
 	dbSize := db.DataSizeBytes()
@@ -170,6 +171,31 @@ func BenchmarkScoresDenseTPCDS(b *testing.B) {
 		}
 	}
 	benchScoreSink = sink
+}
+
+// BenchmarkScoresBatchParallel measures C2UCB.Scores over the full
+// TPC-DS candidate set with scoring fanned across worker pools of 1, 2
+// and 4, on the factored backend — the O(d²) per-arm triangular solve
+// is the kernel the sharding exists to hide (the SM sparse quadratic
+// form is already so cheap the fan-out overhead dominates it). The /1
+// case is the serial baseline every speedup is quoted against; scaling
+// only shows on multi-core hardware, but the output bytes are pinned
+// identical at every width regardless.
+func BenchmarkScoresBatchParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			bandit, ctxs, dim := tpcdsScoresFixtureBackend(b, linalg.BackendChol)
+			bandit.SetScoreWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bandit.Scores(ctxs)
+			}
+			b.ReportMetric(float64(len(ctxs)), "arms")
+			b.ReportMetric(float64(dim), "dim")
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
 }
 
 var benchScoreSink float64

@@ -104,6 +104,11 @@ func (b *C2UCB) Restore(s *C2UCBSnapshot) error {
 	b.backend = s.Ridge.Backend
 	b.round = s.Round
 	b.rewardScale = s.RewardScale
+	// Construction-time configuration that lives on the backend instance
+	// (not in the snapshot, which carries state only) is re-applied to
+	// the rebuilt core; the scoring scratch pool is sized by dimension
+	// alone and stays valid (dimensions were checked above).
+	b.SetForgetRank(b.forgetRank)
 	return nil
 }
 

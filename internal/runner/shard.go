@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded partitions the index range [0, n) into at most workers
+// contiguous, near-equal shards and runs fn(shard, lo, hi) once per
+// shard, concurrently across worker goroutines. It is the
+// range-partition counterpart of Run, built for hot paths that score a
+// slice in place: no channels, no per-item closures, no result
+// collection — the caller's fn writes shard [lo, hi) of its own output
+// slice directly.
+//
+// The partition is a pure function of (n, workers): shard sh covers
+// n/workers items, the first n%workers shards one extra, in index
+// order. Deterministic partitioning is what lets callers promise
+// byte-identical output at any worker count — each output index is
+// computed by exactly one shard regardless of scheduling.
+//
+// workers <= 1 (or n small enough to leave one shard) runs fn(0, 0, n)
+// inline on the calling goroutine, so the serial case pays no
+// synchronisation. Unlike Run, a panicking shard does not yield an
+// error value: the panic is captured and re-raised on the calling
+// goroutine after every shard finishes, preserving the caller's
+// crash-on-bug semantics (a dimension mismatch should fail loudly, not
+// vanish into a half-written slice).
+func Sharded(n, workers int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	base, rem := n/workers, n%workers
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panicked error
+	)
+	lo := 0
+	for sh := 0; sh < workers; sh++ {
+		hi := lo + base
+		if sh < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(sh, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = fmt.Errorf("runner: shard %d [%d,%d) panicked: %v", sh, lo, hi, r)
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(sh, lo, hi)
+		}(sh, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardedPartition pins the partition contract: shards are
+// contiguous, in index order, near-equal (sizes differ by at most one,
+// larger shards first), cover [0, n) exactly once, and depend only on
+// (n, workers) — the property callers lean on to promise byte-identical
+// output at any worker count.
+func TestShardedPartition(t *testing.T) {
+	type span struct{ lo, hi int }
+	collect := func(n, workers int) map[int]span {
+		var mu sync.Mutex
+		got := map[int]span{}
+		Sharded(n, workers, func(sh, lo, hi int) {
+			mu.Lock()
+			got[sh] = span{lo, hi}
+			mu.Unlock()
+		})
+		return got
+	}
+	for _, tc := range []struct{ n, workers, shards int }{
+		{10, 1, 1},
+		{10, 3, 3},
+		{10, 10, 10},
+		{3, 8, 3}, // workers capped at n
+		{101, 7, 7},
+		{64, 4, 4},
+	} {
+		got := collect(tc.n, tc.workers)
+		if len(got) != tc.shards {
+			t.Fatalf("n=%d workers=%d: %d shards, want %d", tc.n, tc.workers, len(got), tc.shards)
+		}
+		covered := 0
+		prevSize := -1
+		for sh := 0; sh < len(got); sh++ {
+			s, ok := got[sh]
+			if !ok {
+				t.Fatalf("n=%d workers=%d: shard %d never ran", tc.n, tc.workers, sh)
+			}
+			if s.lo != covered {
+				t.Fatalf("n=%d workers=%d: shard %d starts at %d, want %d (contiguity)", tc.n, tc.workers, sh, s.lo, covered)
+			}
+			size := s.hi - s.lo
+			if size <= 0 {
+				t.Fatalf("n=%d workers=%d: shard %d empty", tc.n, tc.workers, sh)
+			}
+			if prevSize >= 0 && (size > prevSize || prevSize-size > 1) {
+				t.Fatalf("n=%d workers=%d: shard sizes %d then %d not near-equal descending", tc.n, tc.workers, prevSize, size)
+			}
+			prevSize = size
+			covered = s.hi
+		}
+		if covered != tc.n {
+			t.Fatalf("n=%d workers=%d: covered [0,%d), want [0,%d)", tc.n, tc.workers, covered, tc.n)
+		}
+		// Pure function of (n, workers): a rerun partitions identically.
+		if again := collect(tc.n, tc.workers); len(again) != len(got) {
+			t.Fatalf("n=%d workers=%d: rerun changed shard count", tc.n, tc.workers)
+		} else {
+			for sh, s := range got {
+				if again[sh] != s {
+					t.Fatalf("n=%d workers=%d: rerun moved shard %d", tc.n, tc.workers, sh)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedSerialInline: workers <= 1 must run the single shard
+// inline on the calling goroutine. Inline-ness is observable through
+// panic propagation: the concurrent path wraps a shard panic in a
+// "runner: shard ..." error, the inline path lets it fly raw.
+func TestShardedSerialInline(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1} {
+		calls := 0
+		Sharded(5, workers, func(sh, lo, hi int) {
+			calls++
+			if sh != 0 || lo != 0 || hi != 5 {
+				t.Fatalf("workers=%d: inline shard (%d,%d,%d), want (0,0,5)", workers, sh, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("workers=%d: %d calls, want 1", workers, calls)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != "raw" {
+					t.Fatalf("workers=%d: inline panic arrived as %v, want the raw value", workers, r)
+				}
+			}()
+			Sharded(5, workers, func(sh, lo, hi int) { panic("raw") })
+		}()
+	}
+}
+
+// TestShardedEmpty: n <= 0 never invokes fn.
+func TestShardedEmpty(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		Sharded(n, 4, func(sh, lo, hi int) {
+			t.Fatalf("n=%d: fn called with (%d,%d,%d)", n, sh, lo, hi)
+		})
+	}
+}
+
+// TestShardedPanicPropagates: a panicking shard must surface on the
+// calling goroutine — after every other shard has finished — carrying
+// the shard's identity.
+func TestShardedPanicPropagates(t *testing.T) {
+	var mu sync.Mutex
+	finished := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("shard panic did not propagate")
+		}
+		msg, ok := r.(error)
+		if !ok || !strings.Contains(msg.Error(), "shard 2") {
+			t.Fatalf("panic %v does not identify the failing shard", r)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if finished != 3 {
+			t.Fatalf("%d healthy shards finished before the re-raise, want 3", finished)
+		}
+	}()
+	Sharded(16, 4, func(sh, lo, hi int) {
+		if sh == 2 {
+			panic("boom")
+		}
+		mu.Lock()
+		finished++
+		mu.Unlock()
+	})
+}

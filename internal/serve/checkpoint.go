@@ -34,9 +34,14 @@ type Checkpoint struct {
 	Seed          int64
 	MemoryBudgetX float64
 
-	// Policy rebuild.
+	// Policy rebuild. ForgetRank shapes future forgetting arithmetic and
+	// ScoreWorkers the scoring latency, so both are restored with the
+	// backend; neither is policy state (the bandit's learned state lives
+	// in PolicyState).
 	Policy       string
 	RidgeBackend string `json:",omitempty"`
+	ScoreWorkers int    `json:",omitempty"`
+	ForgetRank   int    `json:",omitempty"`
 	Guardrail    GuardrailOptions
 
 	// Serving position.
@@ -75,6 +80,8 @@ func (s *Session) Checkpoint() (*Checkpoint, error) {
 		MemoryBudgetX: s.opts.MemoryBudgetX,
 		Policy:        s.opts.Policy,
 		RidgeBackend:  s.opts.RidgeBackend,
+		ScoreWorkers:  s.opts.ScoreWorkers,
+		ForgetRank:    s.opts.ForgetRank,
 		Guardrail:     s.opts.Guardrail,
 		Window:        s.window,
 		LastWindow:    s.lastWindow,
@@ -159,6 +166,8 @@ func Restore(ck *Checkpoint) (*Session, error) {
 		MemoryBudgetX: ck.MemoryBudgetX,
 		Policy:        ck.Policy,
 		RidgeBackend:  ck.RidgeBackend,
+		ScoreWorkers:  ck.ScoreWorkers,
+		ForgetRank:    ck.ForgetRank,
 		Guardrail:     ck.Guardrail,
 	})
 	if err != nil {

@@ -40,6 +40,14 @@ type Options struct {
 	// RidgeBackend selects the bandit's ridge core (linalg.BackendSM
 	// default, linalg.BackendChol).
 	RidgeBackend string
+	// ScoreWorkers bounds the worker pool the bandit's arm scoring fans
+	// across; <= 1 scores serially. Byte-identical reports at any
+	// setting — serving latency is the only thing that changes.
+	ScoreWorkers int
+	// ForgetRank budgets the SM ridge backend's low-rank Forget
+	// correction (0 = exact rebase). Shift- and quarantine-triggered
+	// forgetting both go through it.
+	ForgetRank int
 	// Guardrail configures the safety supervisor.
 	Guardrail GuardrailOptions
 }
@@ -107,6 +115,11 @@ func New(opts Options) (*Session, error) {
 		return nil, fmt.Errorf("serve: unknown ridge backend %q (available: %v)",
 			opts.RidgeBackend, linalg.RidgeBackends())
 	}
+	mabOpts := mab.TunerOptions{
+		RidgeBackend: opts.RidgeBackend,
+		ScoreWorkers: opts.ScoreWorkers,
+		ForgetRank:   opts.ForgetRank,
+	}
 	e, err := env.New(env.Options{
 		Benchmark:     opts.Benchmark,
 		Regime:        env.Static,
@@ -114,7 +127,7 @@ func New(opts Options) (*Session, error) {
 		MaxStoredRows: opts.MaxStoredRows,
 		Seed:          opts.Seed,
 		MemoryBudgetX: opts.MemoryBudgetX,
-		MABOptions:    mab.TunerOptions{RidgeBackend: opts.RidgeBackend},
+		MABOptions:    mabOpts,
 		DDQNSeed:      opts.Seed,
 		RandomSeed:    opts.Seed,
 	})
@@ -122,7 +135,7 @@ func New(opts Options) (*Session, error) {
 		return nil, err
 	}
 	p, err := policy.New(opts.Policy, e, policy.Params{
-		MAB:        mab.TunerOptions{RidgeBackend: opts.RidgeBackend},
+		MAB:        mabOpts,
 		DDQNSeed:   opts.Seed,
 		RandomSeed: opts.Seed,
 	})
