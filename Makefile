@@ -95,7 +95,7 @@ bench:
 	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
 
 # Committed latest capture; bump when `make bench` commits a new one.
-BENCH_LATEST = BENCH_4bd9d45.json
+BENCH_LATEST = BENCH_335b00b.json
 
 # Perf regression tripwire mirroring CI: re-runs the Observe/Scores hot
 # paths, captures them through benchjson, and fails if any benchmark
