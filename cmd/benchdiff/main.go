@@ -1,21 +1,23 @@
 // Command benchdiff compares two committed benchmark captures
 // (BENCH_<sha>.json files written by `make bench`) and prints a
-// per-benchmark delta table on ns/op, flagging benchmarks present in
-// only one capture. It is the review tool for the repo's
+// per-benchmark delta table on ns/op and allocs/op, flagging benchmarks
+// present in only one capture. It is the review tool for the repo's
 // capture-per-PR perf workflow and the CI regression tripwire.
 //
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
-//	benchdiff -only 'Observe|Scores' -fail-over 30 BENCH_old.json BENCH_new.json
+//	benchdiff -only 'Observe|Scores' -fail-over 30 -fail-over-allocs 30 BENCH_old.json BENCH_new.json
 //
-// -only restricts the table (and the gate) to benchmark names matching
+// -only restricts the table (and the gates) to benchmark names matching
 // the regexp. -fail-over PCT exits 1 if any compared benchmark's ns/op
-// regressed by more than PCT percent — CI smoke uses it to fail on
-// >30% regressions of the Observe/Scores hot paths against the
-// committed latest capture. Captures from different machines diff
-// meaningfully only in ratio terms; the gate compares each pair within
-// one file pair, never across.
+// regressed by more than PCT percent; -fail-over-allocs PCT is the same
+// gate on allocs/op — CI smoke uses both to fail on >30% regressions of
+// the recommend-loop hot paths against the committed latest capture,
+// which is what keeps the arena path's allocation discipline from
+// silently eroding. Captures from different machines diff meaningfully
+// only in ratio terms; the gates compare each pair within one file
+// pair, never across.
 package main
 
 import (
@@ -32,9 +34,10 @@ import (
 func main() {
 	only := flag.String("only", "", "restrict to benchmark names matching this regexp")
 	failOver := flag.Float64("fail-over", 0, "exit 1 if any ns/op regression exceeds this percentage (0 = report only)")
+	failOverAllocs := flag.Float64("fail-over-allocs", 0, "exit 1 if any allocs/op regression exceeds this percentage (0 = report only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-only REGEXP] [-fail-over PCT] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-only REGEXP] [-fail-over PCT] [-fail-over-allocs PCT] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	var filter *regexp.Regexp
@@ -78,36 +81,64 @@ func main() {
 			width = len(name)
 		}
 	}
-	fmt.Printf("%-*s  %14s  %14s  %8s\n", width, "benchmark", "old ns/op", "new ns/op", "delta")
-	worst, worstName := 0.0, ""
+	fmt.Printf("%-*s  %14s  %14s  %8s  %12s  %12s  %8s\n", width, "benchmark",
+		"old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	worstNs, worstNsName := 0.0, ""
+	worstAl, worstAlName := 0.0, ""
 	compared := 0
 	for _, name := range sorted {
 		o, inOld := oldDoc.Benchmarks[name]
 		n, inNew := newDoc.Benchmarks[name]
 		switch {
 		case !inOld:
-			fmt.Printf("%-*s  %14s  %14.0f  %8s\n", width, name, "-", n["ns/op"], "new")
+			fmt.Printf("%-*s  %14s  %14.0f  %8s  %12s  %12.0f  %8s\n", width, name,
+				"-", n["ns/op"], "new", "-", n["allocs/op"], "new")
 		case !inNew:
-			fmt.Printf("%-*s  %14.0f  %14s  %8s\n", width, name, o["ns/op"], "-", "gone")
+			fmt.Printf("%-*s  %14.0f  %14s  %8s  %12.0f  %12s  %8s\n", width, name,
+				o["ns/op"], "-", "gone", o["allocs/op"], "-", "gone")
 		default:
 			ons, nns := o["ns/op"], n["ns/op"]
+			oal, nal := o["allocs/op"], n["allocs/op"]
 			if ons <= 0 {
-				fmt.Printf("%-*s  %14.0f  %14.0f  %8s\n", width, name, ons, nns, "?")
+				fmt.Printf("%-*s  %14.0f  %14.0f  %8s  %12.0f  %12.0f  %8s\n", width, name,
+					ons, nns, "?", oal, nal, "?")
 				continue
 			}
-			pct := (nns - ons) / ons * 100
-			fmt.Printf("%-*s  %14.0f  %14.0f  %+7.1f%%\n", width, name, ons, nns, pct)
+			nsPct := (nns - ons) / ons * 100
+			// An alloc-free baseline (0 allocs/op) has no ratio; print the
+			// counts and let any growth from zero show as "+new" — worth a
+			// reviewer's eye, but only a ratio can trip the gate.
+			alDelta := "?"
+			if oal > 0 {
+				alPct := (nal - oal) / oal * 100
+				alDelta = fmt.Sprintf("%+.1f%%", alPct)
+				if alPct > worstAl {
+					worstAl, worstAlName = alPct, name
+				}
+			} else if nal > 0 {
+				alDelta = "+new"
+			}
+			fmt.Printf("%-*s  %14.0f  %14.0f  %+7.1f%%  %12.0f  %12.0f  %8s\n", width, name,
+				ons, nns, nsPct, oal, nal, alDelta)
 			compared++
-			if pct > worst {
-				worst, worstName = pct, name
+			if nsPct > worstNs {
+				worstNs, worstNsName = nsPct, name
 			}
 		}
 	}
 	if compared == 0 {
 		cli.Fatal("benchdiff", fmt.Errorf("no benchmark appears in both captures (filter %q)", *only))
 	}
-	if *failOver > 0 && worst > *failOver {
-		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% (> %.0f%% budget)\n", worstName, worst, *failOver)
+	failed := false
+	if *failOver > 0 && worstNs > *failOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% ns/op (> %.0f%% budget)\n", worstNsName, worstNs, *failOver)
+		failed = true
+	}
+	if *failOverAllocs > 0 && worstAl > *failOverAllocs {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.1f%% allocs/op (> %.0f%% budget)\n", worstAlName, worstAl, *failOverAllocs)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

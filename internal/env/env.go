@@ -139,10 +139,19 @@ func New(opts Options) (*Environment, error) {
 }
 
 // ExecuteWorkload runs one round's queries under the configuration and
-// returns the summed execution time plus the per-query stats.
+// returns the summed execution time plus the per-query stats. The
+// returned slice is freshly allocated and the caller's to keep; the
+// round-loop driver uses the scratch variant instead.
 func (e *Environment) ExecuteWorkload(queries []*query.Query, cfg *index.Config) (float64, []*engine.ExecStats, error) {
+	return e.executeWorkload(queries, cfg, make([]*engine.ExecStats, 0, len(queries)))
+}
+
+// executeWorkload is ExecuteWorkload appending into the supplied buffer
+// (reset first) — the driver hands the same backing array back every
+// round.
+func (e *Environment) executeWorkload(queries []*query.Query, cfg *index.Config, stats []*engine.ExecStats) (float64, []*engine.ExecStats, error) {
 	var total float64
-	stats := make([]*engine.ExecStats, 0, len(queries))
+	stats = stats[:0]
 	for _, q := range queries {
 		plan, err := e.Opt.ChoosePlan(q, cfg)
 		if err != nil {
@@ -159,9 +168,17 @@ func (e *Environment) ExecuteWorkload(queries []*query.Query, cfg *index.Config)
 }
 
 // CreationCost prices materialising the given indexes and returns the
-// per-index seconds plus the sum.
+// per-index seconds plus the sum. The returned map is freshly allocated
+// and the caller's to keep.
 func (e *Environment) CreationCost(toCreate []*index.Index) (map[string]float64, float64) {
 	per := make(map[string]float64, len(toCreate))
+	return per, e.creationCostInto(toCreate, per)
+}
+
+// creationCostInto is CreationCost filling the supplied map (cleared
+// first) and returning the sum.
+func (e *Environment) creationCostInto(toCreate []*index.Index, per map[string]float64) float64 {
+	clear(per)
 	var total float64
 	for _, ix := range toCreate {
 		sec := e.IndexCreationSec(ix)
@@ -171,7 +188,7 @@ func (e *Environment) CreationCost(toCreate []*index.Index) (map[string]float64,
 		per[ix.ID()] = sec
 		total += sec
 	}
-	return per, total
+	return total
 }
 
 // MaintenanceCost prices the index maintenance a round's update
@@ -187,13 +204,22 @@ func (e *Environment) MaintenanceCost(updates []query.Update, cfg *index.Config)
 		return nil, 0
 	}
 	per := map[string]float64{}
+	total, _ := e.maintenanceCostInto(updates, cfg, per, nil)
+	return per, total
+}
+
+// maintenanceCostInto is MaintenanceCost filling the supplied map
+// (cleared first), sorting ids in the supplied buffer. It returns the
+// sum and the (possibly regrown) id buffer for the caller to reuse.
+func (e *Environment) maintenanceCostInto(updates []query.Update, cfg *index.Config, per map[string]float64, ids []string) (float64, []string) {
+	clear(per)
 	for _, u := range updates {
 		meta, ok := e.Schema.Table(u.Table)
 		if !ok {
 			continue
 		}
 		for _, ix := range cfg.OnTable(u.Table) {
-			if !u.Touches(ix.AllColumns()) {
+			if !ix.TouchedBy(u) {
 				continue
 			}
 			entries := u.Rows
@@ -208,20 +234,16 @@ func (e *Environment) MaintenanceCost(updates []query.Update, cfg *index.Config)
 	// The round total is the per-index sum in sorted-id order: exact
 	// per-index additivity (what the property tests pin) and a
 	// deterministic float result regardless of map iteration.
+	ids = ids[:0]
+	for id := range per {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var total float64
-	for _, id := range sortedKeys(per) {
+	for _, id := range ids {
 		total += per[id]
 	}
-	return per, total
-}
-
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return total, ids
 }
 
 // The policy.Env capability view. Method names differ from the exported

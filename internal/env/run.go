@@ -3,6 +3,7 @@ package env
 import (
 	"fmt"
 
+	"dbabandits/internal/engine"
 	"dbabandits/internal/index"
 	"dbabandits/internal/policy"
 	"dbabandits/internal/query"
@@ -95,33 +96,52 @@ func (e *Environment) RunPolicySpan(p policy.Policy, span Span) (*RunResult, err
 	if from > 1 {
 		lastWorkload = e.Seq.Round(from - 1)
 	}
+	// Span-scoped cost-accounting scratch: the stats slice and the
+	// per-index second maps are cleared and refilled every round instead
+	// of reallocated, which is safe because Observe/ObserveUpdates only
+	// borrow their arguments for the call (see policy.Policy). The
+	// scratch is local to the span, so concurrent spans over one
+	// Environment stay independent.
+	sc := struct {
+		stats     []*engine.ExecStats
+		perCreate map[string]float64
+		perMaint  map[string]float64
+		ids       []string
+	}{
+		perCreate: map[string]float64{},
+		perMaint:  map[string]float64{},
+	}
 	for r := from; r <= to; r++ {
 		rec := p.Recommend(r, lastWorkload)
 		next := rec.Config
 		if next == nil {
 			next = cfg
 		}
-		perCreate, createSec := e.CreationCost(next.Diff(cfg))
+		createSec := e.creationCostInto(next.Diff(cfg), sc.perCreate)
 		cfg = next
 
 		wl := e.Seq.Round(r)
-		exec, stats, err := e.ExecuteWorkload(wl, cfg)
+		exec, stats, err := e.executeWorkload(wl, cfg, sc.stats)
 		if err != nil {
 			return nil, err
 		}
+		sc.stats = stats
 		var updates []query.Update
 		var maintSec float64
 		if hasUpdates {
 			updates = e.UpdatesAt(r)
 			var perMaint map[string]float64
-			perMaint, maintSec = e.MaintenanceCost(updates, cfg)
+			if len(updates) > 0 && cfg.Len() > 0 {
+				perMaint = sc.perMaint
+				maintSec, sc.ids = e.maintenanceCostInto(updates, cfg, perMaint, sc.ids)
+			}
 			// Update-aware policies learn from the statements and the
 			// charges before shaping the round's rewards in Observe.
 			if ua, ok := p.(policy.UpdateAware); ok {
 				ua.ObserveUpdates(updates, perMaint)
 			}
 		}
-		p.Observe(stats, perCreate)
+		p.Observe(stats, sc.perCreate)
 		lastWorkload = wl
 
 		res.Rounds = append(res.Rounds, RoundResult{

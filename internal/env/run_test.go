@@ -57,7 +57,14 @@ func (p *scriptedPolicy) Recommend(round int, last []*query.Query) policy.Recomm
 }
 
 func (p *scriptedPolicy) Observe(stats []*engine.ExecStats, creationSec map[string]float64) {
-	p.observe = append(p.observe, creationSec)
+	// The map is borrowed (the driver refills it every round); a policy
+	// that keeps feedback must copy it — which doubles as a regression
+	// check that each round's charges actually reach the policy intact.
+	cp := make(map[string]float64, len(creationSec))
+	for k, v := range creationSec {
+		cp[k] = v
+	}
+	p.observe = append(p.observe, cp)
 }
 
 func (p *scriptedPolicy) Close() { p.closed++ }

@@ -115,6 +115,37 @@ func (c *Config) Diff(old *Config) []*Index {
 	return out
 }
 
+// DiffBoth computes both sides of the transition old -> c in one pass:
+// the indexes to materialise (in c, not old; sorted like Diff) and the
+// ids to drop (in old, not c; sorted). The round driver previously
+// derived the drop list by re-querying Has per sorted id — this folds
+// both sides into the diff the creation pricing already needs.
+func (c *Config) DiffBoth(old *Config) (create []*Index, drop []string) {
+	for id, ix := range c.byID {
+		if old == nil || !old.Has(id) {
+			create = append(create, ix)
+		}
+	}
+	sortIndexes(create)
+	if old != nil {
+		for id := range old.byID {
+			if !c.Has(id) {
+				drop = append(drop, id)
+			}
+		}
+		sort.Strings(drop)
+	}
+	return create, drop
+}
+
+// EachID calls f for every index id in unspecified order, without
+// allocating the sorted slice IDs builds — for callers filling a set.
+func (c *Config) EachID(f func(id string)) {
+	for id := range c.byID {
+		f(id)
+	}
+}
+
 // IDs returns the sorted index ids; convenient in tests and logs.
 func (c *Config) IDs() []string {
 	out := make([]string, 0, len(c.byID))

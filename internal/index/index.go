@@ -28,6 +28,29 @@ type Index struct {
 // New constructs an index, normalising the include list (sorted,
 // de-duplicated, minus key columns).
 func New(table string, key []string, include []string) *Index {
+	if len(include) == 0 {
+		// The overwhelmingly common shape (every non-covering arm): no
+		// include list means no normalisation sets to build.
+		return &Index{Table: table, Key: append([]string(nil), key...)}
+	}
+	return newNormalised(table, append([]string(nil), key...), include)
+}
+
+// NewOwnKey is New taking ownership of the key slice: the caller promises
+// never to mutate it again, and the constructor skips the defensive copy.
+// Arm generation enumerates thousands of single-use key orderings per
+// workload shape; handing each over directly halves the constructor's
+// allocations.
+func NewOwnKey(table string, key []string, include []string) *Index {
+	if len(include) == 0 {
+		return &Index{Table: table, Key: key}
+	}
+	return newNormalised(table, key, include)
+}
+
+// newNormalised builds the index from an owned key slice, normalising the
+// include list (sorted, de-duplicated, minus key columns).
+func newNormalised(table string, key []string, include []string) *Index {
 	keySet := make(map[string]bool, len(key))
 	for _, k := range key {
 		keySet[k] = true
@@ -43,21 +66,47 @@ func New(table string, key []string, include []string) *Index {
 		inc = append(inc, c)
 	}
 	sort.Strings(inc)
-	return &Index{Table: table, Key: append([]string(nil), key...), Include: inc}
+	return &Index{Table: table, Key: key, Include: inc}
 }
 
 // ID returns the canonical identifier, e.g.
 // "orders(o_custkey,o_date) INCLUDE (o_total)".
 func (ix *Index) ID() string {
 	if ix.id == "" {
+		// Exact-size build: one allocation per id, no builder growth.
+		n := len(ix.Table) + 2
+		for _, k := range ix.Key {
+			n += len(k) + 1
+		}
+		if len(ix.Key) > 0 {
+			n--
+		}
+		if len(ix.Include) > 0 {
+			n += len(" INCLUDE ()")
+			for _, c := range ix.Include {
+				n += len(c) + 1
+			}
+			n--
+		}
 		var b strings.Builder
+		b.Grow(n)
 		b.WriteString(ix.Table)
 		b.WriteByte('(')
-		b.WriteString(strings.Join(ix.Key, ","))
+		for i, k := range ix.Key {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(k)
+		}
 		b.WriteByte(')')
 		if len(ix.Include) > 0 {
 			b.WriteString(" INCLUDE (")
-			b.WriteString(strings.Join(ix.Include, ","))
+			for i, c := range ix.Include {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(c)
+			}
 			b.WriteByte(')')
 		}
 		ix.id = b.String()
@@ -91,6 +140,24 @@ func (ix *Index) HasColumn(col string) bool {
 	return false
 }
 
+// TouchedBy reports whether the update statement forces maintenance on
+// this index: INSERTs touch every index on the table, UPDATEs only
+// those containing a written column. Semantically
+// u.Touches(ix.AllColumns()) without materialising the column union —
+// the environment's maintenance costing asks per (statement, index)
+// every HTAP round.
+func (ix *Index) TouchedBy(u query.Update) bool {
+	if u.Kind == query.UpdateInsert {
+		return true
+	}
+	for _, c := range u.Columns {
+		if ix.HasColumn(c) {
+			return true
+		}
+	}
+	return false
+}
+
 // KeyPosition returns the 0-based position of the column in the key, or
 // -1 when it is not a key column.
 func (ix *Index) KeyPosition(col string) int {
@@ -106,12 +173,17 @@ func (ix *Index) KeyPosition(col string) int {
 // include columns, and an 8-byte row pointer.
 func (ix *Index) EntryWidthBytes(meta *catalog.Table) int64 {
 	var width int64 = 8 // row pointer
-	for _, name := range ix.AllColumns() {
+	colWidth := func(name string) int64 {
 		if c, ok := meta.Column(name); ok {
-			width += c.Kind.WidthBytes()
-		} else {
-			width += 8
+			return c.Kind.WidthBytes()
 		}
+		return 8
+	}
+	for _, name := range ix.Key {
+		width += colWidth(name)
+	}
+	for _, name := range ix.Include {
+		width += colWidth(name)
 	}
 	return width
 }

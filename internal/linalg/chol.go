@@ -43,6 +43,21 @@ type CholState struct {
 	rotc, rots Vector        // per-column rotation coefficients of the fused cholupdate
 	rotk       []int         // columns with genuine (non-identity) rotations, in order
 	scratch    *BatchScratch // serial scoring scratch; sharded scorers bring their own
+
+	// profile[i] is the skyline bound of row i: every L[i][k] with
+	// k < profile[i] is an exact stored +0, untouched since the
+	// sqrt(lambda)*I initialisation. Sparse contexts couple only the
+	// dimensions they share an observation with, so most rows of L never
+	// fill left of their own feature block and the triangular solves can
+	// skip the structural zeros (see quadSolve for the bit-identity
+	// argument). Maintained in O(nnz) per observation by cholUpdate:
+	// a rank-1 update with first non-zero row k0 writes row r only at
+	// rotation columns >= k0, and those writes can be non-zero only when
+	// w[r] != 0, so profile[r] = min(profile[r], k0) for exactly those
+	// rows. Rows with w[r] == 0 write +0 over +0 left of their old bound
+	// (c*0 + s*0 = +0), so the stored bits below the profile never
+	// change.
+	profile []int
 }
 
 // NewCholState initialises L = sqrt(lambda)*I (so V = lambda*I), b = 0.
@@ -53,7 +68,7 @@ func NewCholState(dim int, lambda float64) *CholState {
 	if lambda <= 0 {
 		panic(fmt.Sprintf("linalg: ridge lambda must be positive, got %g", lambda))
 	}
-	return &CholState{
+	cs := &CholState{
 		Dim:     dim,
 		L:       Identity(dim, math.Sqrt(lambda)),
 		B:       NewVector(dim),
@@ -63,6 +78,35 @@ func NewCholState(dim int, lambda float64) *CholState {
 		rots:    NewVector(dim),
 		rotk:    make([]int, 0, dim),
 		scratch: NewBatchScratch(dim),
+		profile: make([]int, dim),
+	}
+	cs.resetProfile()
+	return cs
+}
+
+// resetProfile sets the skyline to the diagonal (L = sqrt(lambda)*I).
+func (cs *CholState) resetProfile() {
+	for i := range cs.profile {
+		cs.profile[i] = i
+	}
+}
+
+// rescanProfile recomputes the skyline from the stored factor (used
+// after restoring L wholesale from a snapshot). Scanning yields the
+// exact first non-zero, which is always a sound profile: the solves
+// only require that everything left of the bound be an exact +0.
+func (cs *CholState) rescanProfile() {
+	n := cs.Dim
+	for i := 0; i < n; i++ {
+		f := i
+		row := cs.L.Data[i*n : i*n+i]
+		for k, v := range row {
+			if v != 0 {
+				f = k
+				break
+			}
+		}
+		cs.profile[i] = f
 	}
 }
 
@@ -134,6 +178,14 @@ func (cs *CholState) cholUpdate() {
 	k0 := 0
 	for k0 < n && w[k0] == 0 {
 		k0++
+	}
+	// The update writes row r only at rotation columns, all >= k0, and
+	// the write can be non-zero only where w[r] != 0 — extend exactly
+	// those rows' skylines.
+	for r := k0 + 1; r < n; r++ {
+		if w[r] != 0 && cs.profile[r] > k0 {
+			cs.profile[r] = k0
+		}
 	}
 	cs.cholUpdateFrom(k0)
 }
@@ -255,10 +307,30 @@ func (cs *CholState) ConfidenceWidthBatch(xs []SparseVector, out []float64) {
 	cs.ConfidenceWidthBatchScratch(xs, out, cs.scratch)
 }
 
+// cholPanelWidth is the number of right-hand-side columns the batched
+// triangular solve forward-substitutes per pass over L. Each row of L
+// is loaded once per panel instead of once per arm, so the factor —
+// far larger than any cache at TPC-DS dimensionality — streams from
+// memory 1/cholPanelWidth as often as the one-column solve. 16 columns
+// keep the panel's active rows inside L1 (16×8 B = 2 cache lines per
+// row) while amortising essentially all of the factor traffic.
+const cholPanelWidth = 16
+
 // QuadraticFormBatchScratch is the sharded batch kernel: it reads only
 // the factor (immutable during scoring) and works entirely in the
 // supplied scratch, so concurrent calls over disjoint shards — each
 // with its own scratch — are safe and bit-identical to a serial pass.
+//
+// The batch is solved cholPanelWidth arms at a time through one blocked
+// forward substitution (quadPanel) rather than one triangular solve per
+// arm. Arms are grouped into panels by their first non-zero row
+// (counting sort over the row index — deterministic, stable and
+// allocation-free), because a panel's substitution must run from the
+// block-minimum start row: grouping similar starts keeps the panels as
+// narrow as the one-column solves they replace. Each arm's result is
+// bit-identical to quadSparse on the same context regardless of how the
+// batch is grouped or blocked, so sharded callers with any partition
+// boundaries agree with the serial pass byte for byte.
 func (cs *CholState) QuadraticFormBatchScratch(xs []SparseVector, out []float64, s *BatchScratch) {
 	if len(xs) != len(out) {
 		panic(fmt.Sprintf("linalg: batch length mismatch %d contexts, %d outputs", len(xs), len(out)))
@@ -266,8 +338,124 @@ func (cs *CholState) QuadraticFormBatchScratch(xs []SparseVector, out []float64,
 	if len(s.z) != cs.Dim {
 		panic(fmt.Sprintf("linalg: batch scratch dimension %d, want %d", len(s.z), cs.Dim))
 	}
+	n := cs.Dim
+	if len(s.panel) < n*cholPanelWidth {
+		s.panel = NewVector(n * cholPanelWidth)
+	}
+	if cap(s.order) < len(xs) {
+		s.order = make([]int32, len(xs))
+	}
+	ord := s.order[:len(xs)]
+	if cap(s.cnt) < n+1 {
+		s.cnt = make([]int32, n+1)
+	}
+	cnt := s.cnt[:n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, x := range xs {
+		if x.Dim != n {
+			panic(fmt.Sprintf("linalg: width dimension %d, want %d", x.Dim, n))
+		}
+		cnt[xStart(x, n)]++
+	}
+	var off int32
+	for i := range cnt {
+		c := cnt[i]
+		cnt[i] = off
+		off += c
+	}
 	for i, x := range xs {
-		out[i] = cs.quadSparse(x, s)
+		b := xStart(x, n)
+		ord[cnt[b]] = int32(i)
+		cnt[b]++
+	}
+	for lo := 0; lo < len(ord); lo += cholPanelWidth {
+		hi := lo + cholPanelWidth
+		if hi > len(ord) {
+			hi = len(ord)
+		}
+		cs.quadPanel(xs, ord[lo:hi], out, s)
+	}
+}
+
+// xStart is the first non-zero row of the context (n when empty).
+func xStart(x SparseVector, n int) int {
+	if len(x.Idx) == 0 {
+		return n
+	}
+	return x.Idx[0]
+}
+
+// quadPanel computes ||L^{-1} x||² for up to cholPanelWidth contexts
+// (xs[idx[0]], xs[idx[1]], ...) in one blocked forward substitution: the
+// panel Z starts as the scattered right-hand sides and is transformed in
+// place row by row, every row of L visited once for the whole panel.
+// Underfull panels run at full width against zero-padded columns — a
+// padded column's every entry stays an exact +0, so the fixed-width
+// inner loops (bounds-check-free via the array-pointer views) cost only
+// the dead lanes of at most one panel per shard.
+//
+// Bit-identity with the one-column quadSparse holds per arm: column j's
+// value at row i is b_i minus the k-ascending sequence of l_ik*z_kj
+// products, divided by l_ii — the identical operations in the identical
+// order. Rows above an arm's first non-zero produce exact +0 entries
+// (0 - l*0 = 0, 0/l_ii = +0), subtracting or accumulating which is an
+// exact no-op, so starting the panel at the block-wide minimum start
+// row changes nothing about any column's bits — which is also why the
+// result is independent of panel grouping and block boundaries.
+func (cs *CholState) quadPanel(xs []SparseVector, idx []int32, out []float64, s *BatchScratch) {
+	const w = cholPanelWidth
+	n := cs.Dim
+	start := n
+	for _, j := range idx {
+		if b := xStart(xs[j], n); b < start {
+			start = b
+		}
+	}
+	if start == n {
+		for _, j := range idx {
+			out[j] = 0
+		}
+		return
+	}
+	p := s.panel
+	for i := start * w; i < n*w; i++ {
+		p[i] = 0
+	}
+	for c, j := range idx {
+		x := xs[j]
+		for k, i := range x.Idx {
+			p[i*w+c] = x.Val[k]
+		}
+	}
+	q := &s.q
+	for j := range q {
+		q[j] = 0
+	}
+	data := cs.L.Data
+	for i := start; i < n; i++ {
+		acc := (*[w]float64)(p[i*w:])
+		f := cs.profile[i]
+		if f < start {
+			f = start
+		}
+		row := data[i*n+f : i*n+i]
+		for k, lik := range row {
+			zrow := (*[w]float64)(p[(f+k)*w:])
+			for j := 0; j < w; j++ {
+				acc[j] -= lik * zrow[j]
+			}
+		}
+		lii := data[i*n+i]
+		for j := 0; j < w; j++ {
+			zj := acc[j] / lii
+			acc[j] = zj
+			q[j] += zj * zj
+		}
+	}
+	for c, j := range idx {
+		out[j] = q[c]
 	}
 }
 
@@ -302,15 +490,28 @@ func (cs *CholState) quadSparse(x SparseVector, s *BatchScratch) float64 {
 // quadSolve computes ||L^{-1} b||² for the right-hand side b, which must
 // be zero before row start. The intermediate z = L^{-1} b lands in the
 // supplied z scratch; b is read-only here.
+//
+// Each row's subtraction loop runs from max(profile[i], start) — every
+// skipped term is either l*z with l an exact stored +0 (left of the
+// skyline) or l*z with z an exact +0 (above the start row), a product
+// of magnitude zero whose subtraction cannot change the sum's bits: no
+// partial sum here is ever -0 (sums start at a non-negative right-hand
+// side entry, and under round-to-nearest x-y is -0 only when x already
+// is), and x - (±0) leaves any non-(-0) x bit-unchanged. Skipping the
+// no-op terms is therefore bit-identical to the dense sweep.
 func (cs *CholState) quadSolve(b Vector, start int, z Vector) float64 {
 	n := cs.Dim
 	data := cs.L.Data
 	var q float64
 	for i := start; i < n; i++ {
 		sum := b[i]
-		row := data[i*n+start : i*n+i]
+		f := cs.profile[i]
+		if f < start {
+			f = start
+		}
+		row := data[i*n+f : i*n+i]
 		for k, v := range row {
-			sum -= v * z[start+k]
+			sum -= v * z[f+k]
 		}
 		zi := sum / data[i*n+i]
 		z[i] = zi
@@ -337,6 +538,7 @@ func (cs *CholState) Forget(gamma float64) {
 	if gamma >= 1 {
 		cs.L = Identity(cs.Dim, math.Sqrt(cs.Lambda))
 		cs.B = NewVector(cs.Dim)
+		cs.resetProfile()
 		cs.thetaValid = false
 		return
 	}

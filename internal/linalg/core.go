@@ -94,6 +94,18 @@ type RidgeCore interface {
 type BatchScratch struct {
 	z    Vector // triangular-solve intermediate L^{-1} x
 	xbuf Vector // densified sparse context (kept all-zero between uses)
+
+	// panel is the blocked batch-solve working set of the factored
+	// backend: cholPanelWidth right-hand-side columns forward-substituted
+	// through L in one pass (see CholState.quadPanel). Row-major with a
+	// fixed cholPanelWidth stride; lazily sized dim*cholPanelWidth.
+	panel Vector
+	// q accumulates the per-column quadratic forms of one panel.
+	q [cholPanelWidth]float64
+	// order and cnt are the counting-sort scratch that groups a batch's
+	// arms into panels by first non-zero row.
+	order []int32
+	cnt   []int32
 }
 
 // NewBatchScratch allocates scratch for cores of dimension dim.

@@ -110,6 +110,7 @@ func RestoreRidgeCore(s *RidgeSnapshot) (RidgeCore, error) {
 		cs := NewCholState(s.Dim, s.Lambda)
 		copy(cs.L.Data, l)
 		copy(cs.B, b)
+		cs.rescanProfile()
 		cs.updates = s.Updates
 		return cs, nil
 	}

@@ -1,0 +1,103 @@
+package mab
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"dbabandits/internal/query"
+)
+
+// TestArenaAliasingIsolation is the property test behind the round-arena
+// lifetime discipline: once Recommend returns, the round arena's memory
+// is dead — an adversary may scribble over every scored context and score
+// buffer and nothing observable (execution feedback, learned state,
+// snapshots, restored continuations) may change. A failure here means
+// some post-Recommend path still aliases the recycled arena instead of
+// copying out (see roundScratch's lifetime comment).
+//
+// The test drives a control tuner and an attacked tuner through identical
+// rounds; after every attacked Recommend (and again before its snapshot)
+// the recycled scratch is poisoned with NaNs and invalid indices. Run
+// under -race in CI like any other test in the package.
+func TestArenaAliasingIsolation(t *testing.T) {
+	const rounds = 3
+	schema, db, wls := tpcdsBenchFixture(t, rounds+1)
+	dbSize := db.DataSizeBytes()
+	opts := TunerOptions{MemoryBudgetBytes: dbSize, UpdateAwareContext: true}
+	control := NewTuner(schema, dbSize, opts)
+	attacked := NewTuner(schema, dbSize, opts)
+
+	// poison overwrites everything the round arena backs: the scored
+	// contexts' index/value storage and the score buffer.
+	poison := func(tu *Tuner) {
+		for _, x := range tu.scratch.contexts {
+			for i := range x.Idx {
+				x.Idx[i] = -1
+			}
+			for i := range x.Val {
+				x.Val[i] = math.NaN()
+			}
+		}
+		for i := range tu.scratch.scores {
+			tu.scratch.scores[i] = math.NaN()
+		}
+	}
+	// feedback derives deterministic creation costs from the ids alone,
+	// so both tuners see identical rewards without sharing any state.
+	feedback := func(rec *Recommendation) map[string]float64 {
+		out := map[string]float64{}
+		for _, ix := range rec.ToCreate {
+			out[ix.ID()] = 0.01 * float64(len(ix.ID()))
+		}
+		return out
+	}
+	updates := []query.Update{
+		{Table: "store_sales", Kind: query.UpdateInsert, Rows: 500},
+		{Table: "store_sales", Kind: query.UpdateModify, Rows: 200, Columns: []string{"ss_quantity"}},
+	}
+
+	for r := 0; r < rounds; r++ {
+		recC := control.Recommend(wls[r])
+		recA := attacked.Recommend(wls[r])
+		if !reflect.DeepEqual(recC.Config.Defs(), recA.Config.Defs()) ||
+			!reflect.DeepEqual(recC.ToDrop, recA.ToDrop) || recC.NumArms != recA.NumArms {
+			t.Fatalf("round %d: recommendations diverged before any poisoning", r+1)
+		}
+		poison(attacked)
+		control.ObserveUpdates(updates, map[string]float64{})
+		attacked.ObserveUpdates(updates, map[string]float64{})
+		control.ObserveExecution(nil, feedback(recC))
+		poison(attacked)
+		attacked.ObserveExecution(nil, feedback(recA))
+	}
+
+	poison(attacked)
+	snapC, err := control.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA, err := attacked.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := json.Marshal(snapC)
+	ba, _ := json.Marshal(snapA)
+	if string(bc) != string(ba) {
+		t.Fatalf("snapshots diverged after poisoning the recycled arena:\ncontrol:  %s\nattacked: %s", bc, ba)
+	}
+
+	// A continuation restored from the poisoned tuner's snapshot must
+	// recommend exactly what the control does on the next round.
+	restored := NewTuner(schema, dbSize, opts)
+	if err := restored.Restore(snapA); err != nil {
+		t.Fatal(err)
+	}
+	recC := control.Recommend(wls[rounds])
+	recR := restored.Recommend(wls[rounds])
+	if !reflect.DeepEqual(recC.Config.Defs(), recR.Config.Defs()) ||
+		!reflect.DeepEqual(recC.ToDrop, recR.ToDrop) || recC.NumArms != recR.NumArms {
+		t.Fatal("restored tuner diverged from control on the post-snapshot round")
+	}
+}

@@ -13,7 +13,6 @@ package mab
 import (
 	"sort"
 	"strconv"
-	"strings"
 
 	"dbabandits/internal/catalog"
 	"dbabandits/internal/index"
@@ -93,8 +92,26 @@ type ArmGenerator struct {
 	schema *catalog.Schema
 	opts   ArmGenOptions
 
-	protos  map[string][]armProto // query signature + table -> protos
-	results map[string][]*Arm     // ordered (template id, signature) list -> arms
+	protos  map[protoKey][]armProto // (query shape, table) -> protos
+	results map[string][]*Arm       // ordered (template id, shape) list -> arms
+
+	// Per-call scratch, reused across rounds: the shape keys and result
+	// key of Generate, the shape-canonicalisation buffers, and the
+	// column-classification sets of proto enumeration.
+	sigs     []string
+	keyBuf   []byte
+	joinOrd  []int
+	shapeBuf []byte
+	shapes   map[string]string // interned shape keys of joined queries
+	colSet   map[string]bool
+	eqCols   map[string]bool
+	rngCols  map[string]bool
+}
+
+// protoKey addresses the proto memo without concatenating its parts.
+type protoKey struct {
+	shape string
+	table string
 }
 
 // NewArmGenerator returns a generator with defaulted options.
@@ -108,8 +125,12 @@ func NewArmGenerator(schema *catalog.Schema, opts ArmGenOptions) *ArmGenerator {
 	return &ArmGenerator{
 		schema:  schema,
 		opts:    opts,
-		protos:  map[string][]armProto{},
+		protos:  map[protoKey][]armProto{},
 		results: map[string][]*Arm{},
+		shapes:  map[string]string{},
+		colSet:  map[string]bool{},
+		eqCols:  map[string]bool{},
+		rngCols: map[string]bool{},
 	}
 }
 
@@ -122,19 +143,23 @@ func NewArmGenerator(schema *catalog.Schema, opts ArmGenOptions) *ArmGenerator {
 // values are handed out again when a later round replays the same QoI
 // set.
 func (g *ArmGenerator) Generate(qois []*query.Query) []*Arm {
-	sigs := make([]string, len(qois))
-	var keyB strings.Builder
-	for i, q := range qois {
-		sigs[i] = shapeKey(q)
-		keyB.WriteString(strconv.Itoa(q.TemplateID))
-		keyB.WriteByte(0)
-		keyB.WriteString(sigs[i])
-		keyB.WriteByte(1)
+	sigs := g.sigs[:0]
+	buf := g.keyBuf[:0]
+	for _, q := range qois {
+		sig := g.shapeKey(q)
+		sigs = append(sigs, sig)
+		buf = strconv.AppendInt(buf, int64(q.TemplateID), 10)
+		buf = append(buf, 0)
+		buf = append(buf, sig...)
+		buf = append(buf, 1)
 	}
-	key := keyB.String()
-	if arms, ok := g.results[key]; ok {
+	g.sigs, g.keyBuf = sigs, buf
+	// string(buf) in a map index compiles to a zero-allocation lookup, so
+	// the steady state (memo hit) allocates only the returned copy.
+	if arms, ok := g.results[string(buf)]; ok {
 		return append([]*Arm(nil), arms...)
 	}
+	key := string(buf)
 
 	byID := map[string]*Arm{}
 	for qi, q := range qois {
@@ -143,7 +168,7 @@ func (g *ArmGenerator) Generate(qois []*query.Query) []*Arm {
 			if !ok {
 				continue
 			}
-			pkey := sigs[qi] + "\x00" + tname
+			pkey := protoKey{shape: sigs[qi], table: tname}
 			protos, ok := g.protos[pkey]
 			if !ok {
 				protos = g.protosForTable(q, meta)
@@ -179,18 +204,83 @@ func (g *ArmGenerator) Generate(qois []*query.Query) []*Arm {
 // shapeKey canonises everything arm generation depends on: the query's
 // Signature() (tables, predicate columns and operators, payload) plus
 // the join predicates, which Signature omits but JoinColumnsOn feeds
-// into the candidate key columns.
-func shapeKey(q *query.Query) string {
+// into the candidate key columns. Join-free queries (the common case)
+// return the signature memo directly; joined ones assemble the key in
+// generator-owned scratch, costing one allocation per join plus the
+// result string.
+func (g *ArmGenerator) shapeKey(q *query.Query) string {
 	sig := q.Signature()
 	if len(q.Joins) == 0 {
 		return sig
 	}
-	joins := make([]string, len(q.Joins))
-	for i, j := range q.Joins {
-		joins[i] = j.LeftTable + "." + j.LeftColumn + "=" + j.RightTable + "." + j.RightColumn
+	buf := append(g.shapeBuf[:0], sig...)
+	buf = append(buf, 2)
+	if len(q.Joins) == 1 {
+		// Single join (the common case): no ordering to canonise, append
+		// the parts straight into the scratch buffer.
+		j := q.Joins[0]
+		buf = appendJoin(buf, j)
+	} else {
+		// Multiple joins: canonise their order by sorting indices
+		// componentwise in scratch (an insertion sort over a handful of
+		// joins) and append each directly — no per-join string
+		// materialisation, so replayed joined templates stay
+		// allocation-free. Any fixed total order canonises equally; the
+		// key only ever meets keys built the same way.
+		ord := g.joinOrd[:0]
+		for i := range q.Joins {
+			ord = append(ord, i)
+		}
+		for i := 1; i < len(ord); i++ {
+			for k := i; k > 0 && joinLess(q.Joins[ord[k]], q.Joins[ord[k-1]]); k-- {
+				ord[k], ord[k-1] = ord[k-1], ord[k]
+			}
+		}
+		g.joinOrd = ord
+		for i, oi := range ord {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJoin(buf, q.Joins[oi])
+		}
 	}
-	sort.Strings(joins)
-	return sig + "\x02" + strings.Join(joins, ",")
+	g.shapeBuf = buf
+	// Intern the canonical key: steady-state rounds replay the same
+	// joined templates, and the map lookup on the byte buffer is
+	// allocation-free.
+	if s, ok := g.shapes[string(buf)]; ok {
+		return s
+	}
+	s := string(buf)
+	g.shapes[s] = s
+	return s
+}
+
+// joinLess orders joins componentwise (left table, left column, right
+// table, right column) — the fixed total order the multi-join shape key
+// canonises with.
+func joinLess(a, b query.Join) bool {
+	if a.LeftTable != b.LeftTable {
+		return a.LeftTable < b.LeftTable
+	}
+	if a.LeftColumn != b.LeftColumn {
+		return a.LeftColumn < b.LeftColumn
+	}
+	if a.RightTable != b.RightTable {
+		return a.RightTable < b.RightTable
+	}
+	return a.RightColumn < b.RightColumn
+}
+
+func appendJoin(buf []byte, j query.Join) []byte {
+	buf = append(buf, j.LeftTable...)
+	buf = append(buf, '.')
+	buf = append(buf, j.LeftColumn...)
+	buf = append(buf, '=')
+	buf = append(buf, j.RightTable...)
+	buf = append(buf, '.')
+	buf = append(buf, j.RightColumn...)
+	return buf
 }
 
 // protosForTable enumerates the candidate indexes one query shape
@@ -200,7 +290,8 @@ func shapeKey(q *query.Query) string {
 func (g *ArmGenerator) protosForTable(q *query.Query, meta *catalog.Table) []armProto {
 	predCols := q.PredicateColumnsOn(meta.Name)
 	joinCols := q.JoinColumnsOn(meta.Name)
-	colSet := map[string]bool{}
+	colSet := g.colSet
+	clear(colSet)
 	for _, c := range predCols {
 		colSet[c] = true
 	}
@@ -225,7 +316,7 @@ func (g *ArmGenerator) protosForTable(q *query.Query, meta *catalog.Table) []arm
 	if len(cols) <= g.opts.MaxPermutationCols {
 		keys = permutationsOfSubsets(cols)
 	} else {
-		keys = cappedKeyOrders(q, meta, cols, g.opts.MaxPermutationCols)
+		keys = g.cappedKeyOrders(q, meta, cols, g.opts.MaxPermutationCols)
 	}
 	if len(keys) > g.opts.MaxArmsPerTableQuery {
 		keys = keys[:g.opts.MaxArmsPerTableQuery]
@@ -234,11 +325,18 @@ func (g *ArmGenerator) protosForTable(q *query.Query, meta *catalog.Table) []arm
 	payload := q.PayloadColumnsOn(meta.Name)
 	protos := make([]armProto, 0, len(keys)+1)
 	addProto := func(key, include []string) {
-		ix := index.New(meta.Name, key, include)
+		// The enumerated key orderings are freshly built and never reused
+		// mutably, so the index can own them without a defensive copy.
+		ix := index.NewOwnKey(meta.Name, key, include)
 		protos = append(protos, armProto{
-			ix:     ix,
-			size:   ix.SizeBytes(meta),
-			covers: ix.CoversQueryOn(q, meta.Name),
+			ix:   ix,
+			size: ix.SizeBytes(meta),
+			// Equivalent to ix.CoversQueryOn(q, meta.Name), against the
+			// referenced-column lists already extracted above rather than
+			// re-deriving them per candidate.
+			covers: hasAllColumns(ix, predCols) &&
+				hasAllColumns(ix, joinCols) &&
+				hasAllColumns(ix, payload),
 		})
 	}
 	for _, key := range keys {
@@ -251,17 +349,49 @@ func (g *ArmGenerator) protosForTable(q *query.Query, meta *catalog.Table) []arm
 	return protos
 }
 
+func hasAllColumns(ix *index.Index, cols []string) bool {
+	for _, c := range cols {
+		if !ix.HasColumn(c) {
+			return false
+		}
+	}
+	return true
+}
+
 // permutationsOfSubsets returns every permutation of every non-empty
 // subset of cols (cols must be small; callers cap at
-// MaxPermutationCols).
+// MaxPermutationCols). The permutations share one flat backing array
+// sized exactly in advance, so the enumeration costs three allocations
+// however many orderings it emits.
 func permutationsOfSubsets(cols []string) [][]string {
-	var out [][]string
 	n := len(cols)
-	var rec func(cur []string, used []bool)
-	rec = func(cur []string, used []bool) {
+	perms, entries := 0, 0
+	p := 1
+	for k := 1; k <= n; k++ {
+		p *= n - k + 1 // P(n,k): permutations of length k
+		perms += p
+		entries += p * k
+	}
+	out := make([][]string, 0, perms)
+	flat := make([]string, 0, entries)
+	// Small fixed-size working arrays (n is capped at MaxPermutationCols,
+	// default 3); only out and flat escape. Oversized option values fall
+	// back to heap slices.
+	var curArr [8]string
+	var usedArr [8]bool
+	var cur []string
+	var used []bool
+	if n <= len(usedArr) {
+		cur, used = curArr[:0], usedArr[:n]
+	} else {
+		cur, used = make([]string, 0, n), make([]bool, n)
+	}
+	var rec func()
+	rec = func() {
 		if len(cur) > 0 {
-			cp := append([]string(nil), cur...)
-			out = append(out, cp)
+			start := len(flat)
+			flat = append(flat, cur...)
+			out = append(out, flat[start:len(flat):len(flat)])
 		}
 		if len(cur) == n {
 			return
@@ -271,11 +401,13 @@ func permutationsOfSubsets(cols []string) [][]string {
 				continue
 			}
 			used[i] = true
-			rec(append(cur, cols[i]), used)
+			cur = append(cur, cols[i])
+			rec()
+			cur = cur[:len(cur)-1]
 			used[i] = false
 		}
 	}
-	rec(nil, make([]bool, n))
+	rec()
 	return out
 }
 
@@ -283,12 +415,12 @@ func permutationsOfSubsets(cols []string) [][]string {
 // of the most selective columns, and a canonical full ordering (equality
 // columns by descending NDV — most selective seeks first — then the
 // rest).
-func cappedKeyOrders(q *query.Query, meta *catalog.Table, cols []string, maxPerm int) [][]string {
+func (g *ArmGenerator) cappedKeyOrders(q *query.Query, meta *catalog.Table, cols []string, maxPerm int) [][]string {
 	var out [][]string
 	for _, c := range cols {
 		out = append(out, []string{c})
 	}
-	ranked := rankColumns(q, meta, cols)
+	ranked := g.rankColumns(q, meta, cols)
 	top := ranked
 	if len(top) > maxPerm {
 		top = top[:maxPerm]
@@ -307,9 +439,10 @@ func cappedKeyOrders(q *query.Query, meta *catalog.Table, cols []string, maxPerm
 // rankColumns orders columns: equality-predicate columns first (by NDV
 // descending — higher NDV means a sharper seek), then range columns, then
 // join-only columns.
-func rankColumns(q *query.Query, meta *catalog.Table, cols []string) []string {
-	eq := map[string]bool{}
-	rng := map[string]bool{}
+func (g *ArmGenerator) rankColumns(q *query.Query, meta *catalog.Table, cols []string) []string {
+	eq, rng := g.eqCols, g.rngCols
+	clear(eq)
+	clear(rng)
 	for _, p := range q.FiltersOn(meta.Name) {
 		if p.IsEquality() {
 			eq[p.Column] = true

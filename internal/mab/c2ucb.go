@@ -170,9 +170,17 @@ func (b *C2UCB) Round() int { return b.round }
 // performs), after which every shard reads only immutable state — so
 // the parallel scores are byte-identical to the serial ones.
 func (b *C2UCB) Scores(contexts []linalg.SparseVector) []float64 {
+	out := make([]float64, len(contexts))
+	b.ScoresInto(contexts, out)
+	return out
+}
+
+// ScoresInto is Scores into a caller-supplied slice (len(out) must equal
+// len(contexts)) — the tuner's round loop reuses one scores buffer across
+// rounds. Results are byte-identical to Scores.
+func (b *C2UCB) ScoresInto(contexts []linalg.SparseVector, out []float64) {
 	theta := b.state.ThetaCached()
 	alpha := b.Alpha(b.round) * b.rewardScale
-	out := make([]float64, len(contexts))
 	if w := b.scoreShards(len(contexts)); w > 1 {
 		b.ensureScratch(w)
 		runner.Sharded(len(contexts), w, func(shard, lo, hi int) {
@@ -181,13 +189,12 @@ func (b *C2UCB) Scores(contexts []linalg.SparseVector) []float64 {
 				out[i] = theta.DotSparse(contexts[i]) + alpha*out[i]
 			}
 		})
-		return out
+		return
 	}
 	b.state.ConfidenceWidthBatch(contexts, out)
 	for i, x := range contexts {
 		out[i] = theta.DotSparse(x) + alpha*out[i]
 	}
-	return out
 }
 
 // ExpectedScores returns the exploitation-only point estimates theta'x,

@@ -6,6 +6,7 @@ import (
 
 	"dbabandits/internal/catalog"
 	"dbabandits/internal/linalg"
+	"dbabandits/internal/query"
 )
 
 // ContextBuilder produces the per-arm context vectors (Section IV,
@@ -19,8 +20,8 @@ import (
 // whole schema. The sparse ridge kernels exploit exactly this shape.
 type ContextBuilder struct {
 	schema *catalog.Schema
-	colIdx map[string]int // "table.column" -> dimension
-	cols   int            // column-dimension count (Part 1)
+	colIdx map[query.ColumnRef]int // (table, column) -> dimension
+	cols   int                     // column-dimension count (Part 1)
 
 	// OneHot switches Part 1 to a plain bag-of-columns encoding (1 for
 	// any key column). Only the ablation benches enable it; the paper
@@ -45,7 +46,7 @@ const updateDims = 2
 
 // NewContextBuilder enumerates the schema's columns into dimensions.
 func NewContextBuilder(schema *catalog.Schema) *ContextBuilder {
-	cb := &ContextBuilder{schema: schema, colIdx: map[string]int{}}
+	cb := &ContextBuilder{schema: schema, colIdx: map[query.ColumnRef]int{}}
 	names := schema.SortedTableNames()
 	d := 0
 	for _, tn := range names {
@@ -56,7 +57,7 @@ func NewContextBuilder(schema *catalog.Schema) *ContextBuilder {
 		}
 		sort.Strings(cols)
 		for _, c := range cols {
-			cb.colIdx[tn+"."+c] = d
+			cb.colIdx[query.ColumnRef{Table: tn, Column: c}] = d
 			d++
 		}
 	}
@@ -75,11 +76,12 @@ func (cb *ContextBuilder) Dim() int {
 
 // ArmInfo carries the dynamic inputs of a context vector.
 type ArmInfo struct {
-	// PredicateColumns holds "table.column" keys for every column that
-	// appears as a filter or join predicate in the queries of interest;
-	// only these key columns receive non-zero Part 1 components (payload
-	// -only columns are zero — see the paper's Example 3).
-	PredicateColumns map[string]bool
+	// PredicateColumns holds every column that appears as a filter or
+	// join predicate in the queries of interest; only these key columns
+	// receive non-zero Part 1 components (payload-only columns are zero —
+	// see the paper's Example 3). Keyed by (table, column) struct so the
+	// per-arm lookups never build key strings.
+	PredicateColumns map[query.ColumnRef]bool
 	// Materialised reports whether the arm's index currently exists; a
 	// materialised index has zero relative-size component (no further
 	// creation cost).
@@ -95,18 +97,25 @@ type ArmInfo struct {
 	Churn float64
 }
 
-// Build assembles the sparse context vector for one arm. Entries are
-// returned in ascending index order; zero-valued components (payload-only
-// key columns, unset derived statistics) are simply absent, which the
-// sparse kernels treat identically to explicit zeros.
+// Build assembles the sparse context vector for one arm, in freshly
+// allocated storage the caller owns. Entries are returned in ascending
+// index order; zero-valued components (payload-only key columns, unset
+// derived statistics) are simply absent, which the sparse kernels treat
+// identically to explicit zeros.
 func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.SparseVector {
-	x := linalg.SparseVector{
-		Dim: cb.Dim(),
-		Idx: make([]int, 0, len(arm.Index.Key)+derivedDims+updateDims),
-		Val: make([]float64, 0, len(arm.Index.Key)+derivedDims+updateDims),
-	}
+	var a linalg.SparseArena
+	return cb.BuildArena(arm, info, &a)
+}
+
+// BuildArena is Build into caller-supplied arena storage — the
+// recommend loop's warm path. The returned vector aliases the arena and
+// follows its lifetime discipline (valid until the arena's next Reset);
+// the entry values are identical to Build's.
+func (cb *ContextBuilder) BuildArena(arm *Arm, info ArmInfo, a *linalg.SparseArena) linalg.SparseVector {
+	a.Grow(len(arm.Index.Key) + derivedDims + updateDims)
+	mark := a.Mark()
 	for j, col := range arm.Index.Key {
-		key := arm.Table + "." + col
+		key := query.ColumnRef{Table: arm.Table, Column: col}
 		if !info.PredicateColumns[key] {
 			continue
 		}
@@ -114,41 +123,36 @@ func (cb *ContextBuilder) Build(arm *Arm, info ArmInfo) linalg.SparseVector {
 		if !ok {
 			continue
 		}
-		x.Idx = append(x.Idx, idx)
 		if cb.OneHot {
-			x.Val = append(x.Val, 1)
+			a.Append(idx, 1)
 		} else {
-			x.Val = append(x.Val, math.Pow(10, -float64(j)))
+			a.Append(idx, math.Pow(10, -float64(j)))
 		}
 	}
+	x := a.Take(cb.Dim(), mark)
 	// Key columns arrive in key order, not dimension order.
 	x.Sort()
 	// The derived components occupy the top dimensions, above every
 	// column dimension, so appending after the sort keeps order.
 	base := cb.cols
 	if arm.IsCovering() {
-		x.Idx = append(x.Idx, base)
-		x.Val = append(x.Val, 1)
+		a.Append(base, 1)
 	}
 	if !info.Materialised && info.DatabaseBytes > 0 {
-		x.Idx = append(x.Idx, base+1)
-		x.Val = append(x.Val, float64(arm.SizeBytes)/float64(info.DatabaseBytes))
+		a.Append(base+1, float64(arm.SizeBytes)/float64(info.DatabaseBytes))
 	}
 	if info.Usage != 0 {
-		x.Idx = append(x.Idx, base+2)
-		x.Val = append(x.Val, info.Usage)
+		a.Append(base+2, info.Usage)
 	}
 	if cb.UpdateDims && info.Churn != 0 {
 		// D4: churn exposure. D5: size-weighted churn — written rows ×
 		// entry width scales with churn × index size, so this component
 		// is a linear proxy for the maintenance seconds the reward will
 		// subtract, normalised like the size component.
-		x.Idx = append(x.Idx, base+derivedDims)
-		x.Val = append(x.Val, info.Churn)
+		a.Append(base+derivedDims, info.Churn)
 		if info.DatabaseBytes > 0 {
-			x.Idx = append(x.Idx, base+derivedDims+1)
-			x.Val = append(x.Val, info.Churn*float64(arm.SizeBytes)/float64(info.DatabaseBytes))
+			a.Append(base+derivedDims+1, info.Churn*float64(arm.SizeBytes)/float64(info.DatabaseBytes))
 		}
 	}
-	return x
+	return a.Take(cb.Dim(), mark)
 }

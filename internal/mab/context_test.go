@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dbabandits/internal/index"
+	"dbabandits/internal/query"
 	"dbabandits/internal/testdb"
 )
 
@@ -25,13 +26,13 @@ func TestContextPrefixEncoding(t *testing.T) {
 		SizeBytes: 1000,
 	}
 	info := ArmInfo{
-		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
+		PredicateColumns: map[query.ColumnRef]bool{query.ColumnRef{Table: "orders", Column: "o_status"}: true, query.ColumnRef{Table: "orders", Column: "o_date"}: true},
 		DatabaseBytes:    100000,
 	}
 	x := cb.Build(arm, info).Dense()
 	// position 0 -> 10^0 = 1; position 1 -> 10^-1.
-	iStatus := cb.colIdx["orders.o_status"]
-	iDate := cb.colIdx["orders.o_date"]
+	iStatus := cb.colIdx[query.ColumnRef{Table: "orders", Column: "o_status"}]
+	iDate := cb.colIdx[query.ColumnRef{Table: "orders", Column: "o_date"}]
 	if x[iStatus] != 1 {
 		t.Fatalf("leading column component = %v, want 1", x[iStatus])
 	}
@@ -52,11 +53,11 @@ func TestContextPayloadOnlyColumnIsZero(t *testing.T) {
 	}
 	info := ArmInfo{
 		// o_total is payload, not a predicate column.
-		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
+		PredicateColumns: map[query.ColumnRef]bool{query.ColumnRef{Table: "orders", Column: "o_status"}: true, query.ColumnRef{Table: "orders", Column: "o_date"}: true},
 		DatabaseBytes:    1,
 	}
 	x := cb.Build(arm, info).Dense()
-	if got := x[cb.colIdx["orders.o_total"]]; got != 0 {
+	if got := x[cb.colIdx[query.ColumnRef{Table: "orders", Column: "o_total"}]]; got != 0 {
 		t.Fatalf("payload-only key column component = %v, want 0", got)
 	}
 	// Include columns never contribute either.
@@ -65,7 +66,7 @@ func TestContextPayloadOnlyColumnIsZero(t *testing.T) {
 		Table: "orders",
 	}
 	x2 := cb.Build(arm2, info).Dense()
-	if got := x2[cb.colIdx["orders.o_total"]]; got != 0 {
+	if got := x2[cb.colIdx[query.ColumnRef{Table: "orders", Column: "o_total"}]]; got != 0 {
 		t.Fatalf("include column component = %v, want 0", got)
 	}
 }
@@ -81,7 +82,7 @@ func TestContextDerivedParts(t *testing.T) {
 		CoveringFor: []int{1},
 	}
 	info := ArmInfo{
-		PredicateColumns: map[string]bool{"orders.o_date": true},
+		PredicateColumns: map[query.ColumnRef]bool{query.ColumnRef{Table: "orders", Column: "o_date"}: true},
 		Materialised:     false,
 		Usage:            2.5,
 		DatabaseBytes:    100000,
@@ -114,11 +115,11 @@ func TestContextOneHotAblation(t *testing.T) {
 		Table: "orders",
 	}
 	info := ArmInfo{
-		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
+		PredicateColumns: map[query.ColumnRef]bool{query.ColumnRef{Table: "orders", Column: "o_status"}: true, query.ColumnRef{Table: "orders", Column: "o_date"}: true},
 		DatabaseBytes:    1,
 	}
 	x := cb.Build(arm, info).Dense()
-	if x[cb.colIdx["orders.o_date"]] != 1 || x[cb.colIdx["orders.o_status"]] != 1 {
+	if x[cb.colIdx[query.ColumnRef{Table: "orders", Column: "o_date"}]] != 1 || x[cb.colIdx[query.ColumnRef{Table: "orders", Column: "o_status"}]] != 1 {
 		t.Fatal("one-hot encoding should set both components to 1")
 	}
 }
@@ -129,7 +130,7 @@ func TestContextDistinguishesPrefixOrder(t *testing.T) {
 	schema, _ := testdb.Build(1)
 	cb := NewContextBuilder(schema)
 	info := ArmInfo{
-		PredicateColumns: map[string]bool{"orders.o_status": true, "orders.o_date": true},
+		PredicateColumns: map[query.ColumnRef]bool{query.ColumnRef{Table: "orders", Column: "o_status"}: true, query.ColumnRef{Table: "orders", Column: "o_date"}: true},
 		DatabaseBytes:    1,
 	}
 	ab := cb.Build(&Arm{Index: index.New("orders", []string{"o_status", "o_date"}, nil), Table: "orders"}, info).Dense()

@@ -29,7 +29,7 @@ func TestContextBuilderUpdateDims(t *testing.T) {
 		SizeBytes: 1 << 20,
 	}
 	info := ArmInfo{
-		PredicateColumns: map[string]bool{"orders.o_date": true},
+		PredicateColumns: map[query.ColumnRef]bool{{Table: "orders", Column: "o_date"}: true},
 		DatabaseBytes:    1 << 24,
 		Churn:            0.125,
 	}

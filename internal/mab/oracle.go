@@ -17,22 +17,43 @@ func SelectSuperArm(arms []*Arm, scores []float64, budgetBytes int64) []*Arm {
 	return SelectSuperArmThrottled(arms, scores, budgetBytes, nil, 0)
 }
 
+// oracleCand pairs an arm with its score for the greedy ordering.
+type oracleCand struct {
+	arm   *Arm
+	score float64
+}
+
+// oracleScratch is the reusable working memory of one oracle invocation:
+// the candidate ordering, the selection list, and the covered-template
+// set. A scratch belongs to one caller (the tuner owns one per round
+// loop); the selection the scratch variant returns aliases it and is
+// valid until the next call with the same scratch.
+type oracleScratch struct {
+	cands    []oracleCand
+	selected []*Arm
+	covered  map[int]bool
+}
+
 // SelectSuperArmThrottled is SelectSuperArm with a creation throttle:
 // when maxNew > 0, at most maxNew arms absent from the existing
 // configuration are selected per round. Spreading creations across rounds
 // bounds the per-round materialisation spike and keeps the semi-bandit
 // credit assignment clean (few new arms share each round's reward).
 func SelectSuperArmThrottled(arms []*Arm, scores []float64, budgetBytes int64, existing map[string]bool, maxNew int) []*Arm {
-	type cand struct {
-		arm   *Arm
-		score float64
-	}
-	var cands []cand
+	return selectSuperArmScratch(arms, scores, budgetBytes, existing, maxNew, &oracleScratch{})
+}
+
+// selectSuperArmScratch is the oracle through caller-owned scratch — the
+// recommend loop's warm path. Selection is identical to
+// SelectSuperArmThrottled; the returned slice aliases the scratch.
+func selectSuperArmScratch(arms []*Arm, scores []float64, budgetBytes int64, existing map[string]bool, maxNew int, s *oracleScratch) []*Arm {
+	cands := s.cands[:0]
 	for i, a := range arms {
 		if scores[i] > 0 {
-			cands = append(cands, cand{arm: a, score: scores[i]})
+			cands = append(cands, oracleCand{arm: a, score: scores[i]})
 		}
 	}
+	s.cands = cands
 	// Deterministic order: by score descending, id ascending on ties.
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
@@ -41,8 +62,12 @@ func SelectSuperArmThrottled(arms []*Arm, scores []float64, budgetBytes int64, e
 		return cands[i].arm.ID() < cands[j].arm.ID()
 	})
 
-	var selected []*Arm
-	coveredTemplates := map[int]bool{}
+	selected := s.selected[:0]
+	if s.covered == nil {
+		s.covered = map[int]bool{}
+	}
+	coveredTemplates := s.covered
+	clear(coveredTemplates)
 	remaining := budgetBytes
 	newPicks := 0
 
@@ -85,6 +110,7 @@ func SelectSuperArmThrottled(arms []*Arm, scores []float64, budgetBytes int64, e
 		}
 		cands = kept
 	}
+	s.selected = selected
 
 	// Post-pass: an arm picked early can be subsumed by a wider arm picked
 	// later (the step filter only looks forward); drop such redundant

@@ -18,6 +18,12 @@ type TemplateInfo struct {
 	// Instances seen in the most recent observation round.
 	LastRoundCount int
 	LastInstance   *query.Query
+
+	// seenIn stamps the round (as round+1, so the zero value means
+	// "never") whose Observe call last reset LastRoundCount. It replaces
+	// the per-call seen-set map; unexported, so snapshots — which copy
+	// the exported fields only — are unaffected.
+	seenIn int
 }
 
 // QueryStore tracks workload templates across rounds (Algorithm 2's QS).
@@ -30,6 +36,8 @@ type QueryStore struct {
 	lastRound         int
 	lastRoundNew      int
 	lastRoundObserved int
+
+	qoiInfos []*TemplateInfo // QoI ordering scratch, reused across rounds
 }
 
 // NewQueryStore returns an empty store with the default QoI window.
@@ -39,9 +47,12 @@ func NewQueryStore() *QueryStore {
 
 // Observe folds one round's workload into the store and returns the
 // number of previously unseen templates (the workload-shift signal).
+// Rounds must be observed in increasing order (the driver's natural
+// call pattern): first-sight-this-round is tracked by stamping each
+// template with the round rather than building a per-call set.
 func (qs *QueryStore) Observe(round int, queries []*query.Query) int {
-	seenThisRound := map[string]bool{}
 	newTemplates := 0
+	observed := 0
 	for _, q := range queries {
 		sig := q.Signature()
 		ti, ok := qs.bySig[sig]
@@ -53,15 +64,16 @@ func (qs *QueryStore) Observe(round int, queries []*query.Query) int {
 		ti.Frequency++
 		ti.LastSeen = round
 		ti.LastInstance = q
-		if !seenThisRound[sig] {
+		if ti.seenIn != round+1 {
+			ti.seenIn = round + 1
 			ti.LastRoundCount = 0
-			seenThisRound[sig] = true
+			observed++
 		}
 		ti.LastRoundCount++
 	}
 	qs.lastRound = round
 	qs.lastRoundNew = newTemplates
-	qs.lastRoundObserved = len(seenThisRound)
+	qs.lastRoundObserved = observed
 	return newTemplates
 }
 
@@ -69,12 +81,13 @@ func (qs *QueryStore) Observe(round int, queries []*query.Query) int {
 // instance of every template seen within the recency window, ordered by
 // template id then signature for determinism.
 func (qs *QueryStore) QoI(round int) []*query.Query {
-	var infos []*TemplateInfo
+	infos := qs.qoiInfos[:0]
 	for _, ti := range qs.bySig {
 		if round-ti.LastSeen < qs.Window {
 			infos = append(infos, ti)
 		}
 	}
+	qs.qoiInfos = infos
 	sort.Slice(infos, func(i, j int) bool {
 		if infos[i].ID != infos[j].ID {
 			return infos[i].ID < infos[j].ID

@@ -59,6 +59,32 @@ func BenchmarkTunerRecommendTPCDS(b *testing.B) {
 	}
 }
 
+// BenchmarkTunerRecommendSteadyState measures one warm recommend round:
+// the tuner has already seen every template and materialised its memos
+// and arena, so each iteration is the round the arena discipline is
+// designed for — generation and key lookups all hit, contexts and
+// round maps live in recycled scratch. The gap to
+// BenchmarkTunerRecommendTPCDS (which rebuilds a tuner per op, paying
+// four cold rounds) is the cold-start cost; the allocs/op here is the
+// number the benchdiff alloc budget actually guards.
+func BenchmarkTunerRecommendSteadyState(b *testing.B) {
+	const rounds = 4
+	schema, db, wls := tpcdsBenchFixture(b, rounds)
+	dbSize := db.DataSizeBytes()
+	tuner := NewTuner(schema, dbSize, TunerOptions{MemoryBudgetBytes: dbSize})
+	for r := 0; r < rounds; r++ {
+		tuner.Recommend(wls[r])
+		tuner.ObserveExecution(nil, nil)
+	}
+	wl := wls[rounds-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuner.Recommend(wl)
+		tuner.ObserveExecution(nil, nil)
+	}
+}
+
 // tpcdsScoresFixture prepares every TPC-DS candidate arm's context plus a
 // warmed bandit (VInv no longer diagonal — the realistic steady-state
 // shape for the quadratic form).

@@ -141,6 +141,37 @@ type Tuner struct {
 	pendingContexts []linalg.SparseVector
 	pendingCreated  map[string]bool // ids materialised this round
 	pendingMaint    map[string]float64
+	// pendingEpoch is the pending arena's epoch at the moment the pending
+	// contexts were copied out; ObserveExecution asserts it still holds
+	// before feeding the contexts to the bandit (see roundScratch).
+	pendingEpoch int
+
+	scratch roundScratch
+}
+
+// roundScratch is the tuner's round-scoped working memory: every buffer
+// the steady-state Recommend round needs, reset (not freed) at the top of
+// each round so the round allocates near-zero once the buffers have grown
+// to the workload's high-water mark.
+//
+// Lifetime discipline: everything backed by arena or contexts/scores is
+// valid only until the next Recommend call. The one piece of round state
+// that must outlive Recommend — the selected arms' contexts, consumed by
+// ObserveExecution — is copied out of the scoring arena into the separate
+// pending arena, whose epoch is recorded in Tuner.pendingEpoch and
+// asserted at use. Anything else retaining a context past Recommend must
+// do the same: copy out, or check the epoch.
+type roundScratch struct {
+	arena    linalg.SparseArena // backs the scored contexts, reset per round
+	pending  linalg.SparseArena // backs the copied-out pending contexts
+	contexts []linalg.SparseVector
+	scores   []float64
+	predCols map[query.ColumnRef]bool
+	existing map[string]bool
+	created  map[string]bool
+	selPos   map[*Arm]int
+	oracle   oracleScratch
+	rewards  []float64
 }
 
 // NewTuner constructs the tuner for a schema. dbSizeBytes is the logical
@@ -218,12 +249,26 @@ func (t *Tuner) Recommend(lastWorkload []*query.Query) *Recommendation {
 
 	qois := t.store.QoI(t.round - 1)
 	arms := t.gen.Generate(qois)
-	predCols := PredicateColumnSet(qois)
 
-	contexts := make([]linalg.SparseVector, len(arms))
+	s := &t.scratch
+	s.arena.Reset()
+	if s.predCols == nil {
+		s.predCols = map[query.ColumnRef]bool{}
+		s.existing = map[string]bool{}
+		s.created = map[string]bool{}
+		s.selPos = map[*Arm]int{}
+	}
+	clear(s.predCols)
+	predicateColumnsInto(qois, s.predCols)
+
+	if cap(s.contexts) < len(arms) {
+		s.contexts = make([]linalg.SparseVector, len(arms))
+		s.scores = make([]float64, len(arms))
+	}
+	contexts := s.contexts[:len(arms)]
 	for i, a := range arms {
 		info := ArmInfo{
-			PredicateColumns: predCols,
+			PredicateColumns: s.predCols,
 			Materialised:     t.cfg.Has(a.ID()),
 			Usage:            t.usage[a.ID()],
 			DatabaseBytes:    t.dbSize,
@@ -231,54 +276,60 @@ func (t *Tuner) Recommend(lastWorkload []*query.Query) *Recommendation {
 		if t.opts.UpdateAwareContext {
 			info.Churn = t.armChurn(a)
 		}
-		contexts[i] = t.ctxb.Build(a, info)
+		contexts[i] = t.ctxb.BuildArena(a, info, &s.arena)
 	}
-	scores := t.bandit.Scores(contexts)
-	existing := map[string]bool{}
-	for _, id := range t.cfg.IDs() {
-		existing[id] = true
-	}
+	scores := s.scores[:len(arms)]
+	t.bandit.ScoresInto(contexts, scores)
+	clear(s.existing)
+	t.cfg.EachID(func(id string) { s.existing[id] = true })
 	maxNew := t.opts.MaxNewIndexesPerRound
 	if maxNew < 0 {
 		maxNew = 0
 	}
-	selected := SelectSuperArmThrottled(arms, scores, t.opts.MemoryBudgetBytes, existing, maxNew)
+	selected := selectSuperArmScratch(arms, scores, t.opts.MemoryBudgetBytes, s.existing, maxNew, &s.oracle)
 
 	next := index.NewConfig()
 	for _, a := range selected {
 		next.Add(a.Index)
 	}
+	create, drop := next.DiffBoth(t.cfg)
 	rec := &Recommendation{
 		Config:   next,
-		ToCreate: next.Diff(t.cfg),
+		ToCreate: create,
+		ToDrop:   drop,
 		NumArms:  len(arms),
-	}
-	for _, id := range t.cfg.IDs() {
-		if !next.Has(id) {
-			rec.ToDrop = append(rec.ToDrop, id)
-		}
 	}
 	rec.RecommendSec = t.recommendSecModel(len(arms))
 
 	// Pending state for the execution feedback. The decision-time view
 	// (size component non-zero only if the arm required materialisation)
 	// is exactly what Scores just saw, so the selected arms' contexts are
-	// reused from the scored batch instead of being rebuilt.
-	t.pendingArms = selected
-	t.pendingContexts = make([]linalg.SparseVector, len(selected))
-	t.pendingCreated = map[string]bool{}
-	created := map[string]bool{}
-	for _, ix := range rec.ToCreate {
-		created[ix.ID()] = true
+	// taken from the scored batch instead of being rebuilt — copied out of
+	// the round arena (which the next Recommend recycles) into the pending
+	// arena, whose epoch ObserveExecution re-checks.
+	s.pending.Reset()
+	t.pendingEpoch = s.pending.Epoch()
+	t.pendingArms = append(t.pendingArms[:0], selected...)
+	if cap(t.pendingContexts) < len(selected) {
+		t.pendingContexts = make([]linalg.SparseVector, len(selected))
 	}
-	selPos := make(map[*Arm]int, len(selected))
+	t.pendingContexts = t.pendingContexts[:len(selected)]
+	if t.pendingCreated == nil {
+		t.pendingCreated = map[string]bool{}
+	}
+	clear(t.pendingCreated)
+	clear(s.created)
+	for _, ix := range create {
+		s.created[ix.ID()] = true
+	}
+	clear(s.selPos)
 	for i, a := range selected {
-		selPos[a] = i
-		t.pendingCreated[a.ID()] = created[a.ID()]
+		s.selPos[a] = i
+		t.pendingCreated[a.ID()] = s.created[a.ID()]
 	}
 	for i, a := range arms {
-		if j, ok := selPos[a]; ok {
-			t.pendingContexts[j] = contexts[i]
+		if j, ok := s.selPos[a]; ok {
+			t.pendingContexts[j] = s.pending.CopySparse(contexts[i])
 		}
 	}
 
@@ -298,7 +349,16 @@ func (t *Tuner) ObserveExecution(stats []*engine.ExecStats, creationSec map[stri
 	}
 	gains, used := GainsFromStats(stats)
 
-	rewards := make([]float64, len(t.pendingArms))
+	if t.scratch.pending.Epoch() != t.pendingEpoch {
+		// The pending contexts alias the pending arena; an epoch advance
+		// would mean a Recommend ran before this round's feedback landed
+		// and the contexts below are recycled memory.
+		panic("mab: pending contexts outlived their arena epoch")
+	}
+	if cap(t.scratch.rewards) < len(t.pendingArms) {
+		t.scratch.rewards = make([]float64, len(t.pendingArms))
+	}
+	rewards := t.scratch.rewards[:len(t.pendingArms)]
 	for i, a := range t.pendingArms {
 		r := gains[a.ID()]
 		if t.pendingCreated[a.ID()] && !t.opts.NoCreationPenalty {
@@ -314,9 +374,9 @@ func (t *Tuner) ObserveExecution(stats []*engine.ExecStats, creationSec map[stri
 	t.bandit.Update(t.pendingContexts, rewards)
 	t.decayUsage(used)
 
-	t.pendingArms = nil
-	t.pendingContexts = nil
-	t.pendingCreated = nil
+	t.pendingArms = t.pendingArms[:0]
+	t.pendingContexts = t.pendingContexts[:0]
+	clear(t.pendingCreated)
 	t.pendingMaint = nil
 }
 
@@ -448,19 +508,27 @@ func GainsFromStats(stats []*engine.ExecStats) (gains map[string]float64, used m
 	return gains, used
 }
 
-// PredicateColumnSet collects "table.column" keys for all filter and join
-// predicate columns of the queries of interest; Part 1 context components
-// are non-zero only for these (payload-only columns stay zero).
-func PredicateColumnSet(qois []*query.Query) map[string]bool {
-	out := map[string]bool{}
+// PredicateColumnSet collects the (table, column) pairs of all filter and
+// join predicate columns of the queries of interest; Part 1 context
+// components are non-zero only for these (payload-only columns stay
+// zero). Struct keys, not "table.column" strings: set construction and
+// the per-arm membership tests in the context builder allocate nothing.
+func PredicateColumnSet(qois []*query.Query) map[query.ColumnRef]bool {
+	out := map[query.ColumnRef]bool{}
+	predicateColumnsInto(qois, out)
+	return out
+}
+
+// predicateColumnsInto is PredicateColumnSet into a caller-cleared map —
+// the recommend loop reuses one across rounds.
+func predicateColumnsInto(qois []*query.Query, out map[query.ColumnRef]bool) {
 	for _, q := range qois {
 		for _, p := range q.Filters {
-			out[p.Table+"."+p.Column] = true
+			out[query.ColumnRef{Table: p.Table, Column: p.Column}] = true
 		}
 		for _, j := range q.Joins {
-			out[j.LeftTable+"."+j.LeftColumn] = true
-			out[j.RightTable+"."+j.RightColumn] = true
+			out[query.ColumnRef{Table: j.LeftTable, Column: j.LeftColumn}] = true
+			out[query.ColumnRef{Table: j.RightTable, Column: j.RightColumn}] = true
 		}
 	}
-	return out
 }

@@ -55,6 +55,12 @@ type Policy interface {
 	Recommend(round int, lastWorkload []*query.Query) Recommendation
 	// Observe feeds back the round's true execution: per-query stats and
 	// per-index creation seconds (only ids materialised this round).
+	//
+	// Both arguments are borrowed: the driver reuses the stats slice and
+	// the map across rounds, so a policy that wants to keep either past
+	// the round's feedback must copy what it needs (the *ExecStats
+	// values themselves are freshly built each round and safe to
+	// retain).
 	Observe(stats []*engine.ExecStats, creationSec map[string]float64)
 	// Close releases policy resources at the end of a run.
 	Close()
@@ -94,6 +100,13 @@ type Env interface {
 // charged. A policy may fold the charges into its reward shaping and the
 // statements into its learned churn statistics. Analytical regimes never
 // call it, so implementing the interface cannot perturb analytical runs.
+//
+// Like Policy.Observe's arguments, perIndexMaintSec is borrowed: the
+// driver refills one map every round, so it stays valid only until the
+// round's Observe call returns (ObserveUpdates immediately precedes
+// Observe, and the bandit holds the map exactly that long before its
+// reward shaping consumes it). The updates slice comes from the
+// sequencer and is safe to retain.
 type UpdateAware interface {
 	ObserveUpdates(updates []query.Update, perIndexMaintSec map[string]float64)
 }

@@ -117,6 +117,10 @@ type Query struct {
 	// AggWidth models the relative cost of the aggregation/sort tail of
 	// the query (group-by count etc.); 0 means a bare select.
 	AggWidth int
+
+	// sig memoises Signature: the shape never changes after construction,
+	// and the query store plus the arm generator both ask per round.
+	sig string
 }
 
 // FiltersOn returns the filter predicates on one table.
@@ -211,8 +215,17 @@ func (q *Query) SQL() string {
 // Signature returns a canonical string identifying the query's template
 // shape (tables, predicate columns and operators, payload), ignoring the
 // literal constants. The query store uses it to recognise returning
-// templates even when TemplateID is absent.
+// templates even when TemplateID is absent. The string is memoised on
+// the query: instances are immutable once instantiated, and the tuner's
+// store and arm generator each ask once per round.
 func (q *Query) Signature() string {
+	if q.sig == "" {
+		q.sig = q.computeSignature()
+	}
+	return q.sig
+}
+
+func (q *Query) computeSignature() string {
 	var b strings.Builder
 	tabs := append([]string(nil), q.Tables...)
 	sort.Strings(tabs)
