@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke scoresmoke cover bench benchsweep benchsmoke benchdiff ci
+.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke scoresmoke fleetsmoke cover bench benchsweep benchsmoke benchdiff ci
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # for the parallel arm-scoring tests: shards score a shared ridge core
 # concurrently, and -race proves the read-only discipline.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/linalg/... ./internal/mab/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/...
+	$(GO) test -race ./internal/runner/... ./internal/linalg/... ./internal/mab/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/... ./internal/fleet/...
 
 # Fails when any file needs gofmt, listing the offenders.
 fmt:
@@ -64,6 +64,16 @@ scoresmoke:
 	diff .score_serial.out .score_par.out
 	@rm -f .score_serial.out .score_par.out
 
+# Fleet smoke mirroring CI: an 8-tenant heterogeneous fleet (mixed
+# benchmarks, regimes and scale factors, two tenants admitted late with
+# cross-tenant warm starts) run serially and 4-way parallel, stdout
+# byte-compared — tenant scheduling must never leak into any number.
+fleetsmoke:
+	$(GO) run ./cmd/fleet -tenants 8 -rounds 3 -rows 500 -parallel 1 > .fleet_p1.out
+	$(GO) run ./cmd/fleet -tenants 8 -rounds 3 -rows 500 -parallel 4 > .fleet_p4.out
+	diff .fleet_p1.out .fleet_p4.out
+	@rm -f .fleet_p1.out .fleet_p4.out
+
 servesmoke:
 	@printf '1 2 3 4\n2 3 1\n5 5 2\n1 4\n3 2 1\n' > .serve_stream.txt
 	$(GO) run ./cmd/serve -stream .serve_stream.txt > .serve_full.out
@@ -86,7 +96,7 @@ cover:
 # cmd/benchjson, so the perf trajectory is tracked in-repo. Compare
 # against BENCH_baseline.json (captured at the pre-sparse-fast-path
 # commit) — see the README's Performance section.
-BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkTunerRecommendSteadyState$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresBatchParallel$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkCholObserveFused$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkForgetLowRank$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$'
+BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkTunerRecommendSteadyState$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresBatchParallel$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkCholObserveFused$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkForgetLowRank$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$|BenchmarkFleetRound$$'
 
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem ./... > .bench.out
@@ -125,4 +135,4 @@ benchsmoke:
 
 # cover subsumes test (go test -cover runs the full suite), so ci pays
 # for one suite pass plus the race pass, matching the CI workflow.
-ci: fmt vet build cover race smoke htapsmoke ridgesmoke scoresmoke servesmoke benchsmoke benchdiff
+ci: fmt vet build cover race smoke htapsmoke ridgesmoke scoresmoke servesmoke fleetsmoke benchsmoke benchdiff

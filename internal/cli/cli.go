@@ -54,6 +54,17 @@ func ScoreParallel(fs *flag.FlagSet) *int {
 		"MAB arm-scoring worker goroutines (results identical at any value)")
 }
 
+// ScoreParallelAuto is ScoreParallel for the fleet command, whose
+// default is "auto" (0): many tenants share one process, so serial
+// scoring per tenant wastes whatever cores the tenant-level fan-out
+// leaves idle. 0 resolves to runtime.GOMAXPROCS(0) at run time
+// (fleet.DefaultScoreWorkers); single-tenant commands keep the serial
+// default of ScoreParallel.
+func ScoreParallelAuto(fs *flag.FlagSet) *int {
+	return fs.Int("score-parallel", 0,
+		"MAB arm-scoring worker goroutines; 0 = GOMAXPROCS (results identical at any value)")
+}
+
 // ForgetRank registers the -forget-rank knob: the budget of the SM
 // ridge backend's structured low-rank Forget correction. 0 keeps the
 // exact Forget-triggered refactorisation (the default every golden was

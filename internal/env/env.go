@@ -62,6 +62,13 @@ type Options struct {
 	// rewards over the first round's workload before the real loop (the
 	// cold-start mitigation of Section VII). 0 disables.
 	MABWarmStartRounds int
+	// MABTransferGain, when non-nil and MABWarmStartRounds > 0, replaces
+	// the what-if gain estimator for those warm-start rounds with an
+	// external per-arm estimate — the fleet layer's cross-tenant transfer
+	// (a donor tenant's posterior via mab.TransferBasis). Read at Run
+	// time like the rest of Opts, so one Environment can run a
+	// transfer-warmed span and then a cold control.
+	MABTransferGain func(*mab.Arm) float64
 	// DDQNSeed seeds the agent separately (Figure 8 repeats runs).
 	DDQNSeed int64
 	// RandomSeed seeds the random-configuration control policy; 0 falls
@@ -310,6 +317,7 @@ func (e *Environment) policyParams() policy.Params {
 	return policy.Params{
 		MAB:                e.Opts.MABOptions,
 		MABWarmStartRounds: e.Opts.MABWarmStartRounds,
+		MABTransferGain:    e.Opts.MABTransferGain,
 		DDQNSeed:           e.Opts.DDQNSeed,
 		RandomSeed:         randomSeed,
 		PDToolTimeLimitSec: e.Opts.PDToolTimeLimitSec,

@@ -26,6 +26,16 @@ func (e *Environment) Run(kind TunerKind) (*RunResult, error) {
 	return res, nil
 }
 
+// NewPolicy constructs the named policy from the registry against this
+// environment, with the per-strategy knobs projected from Opts exactly
+// as Run projects them. Callers that need the policy instance itself —
+// to snapshot its learned state after a span, as the fleet layer does
+// for cross-tenant transfer — build it here and own its lifecycle
+// (RunPolicySpan + Close); everyone else uses Run.
+func (e *Environment) NewPolicy(kind TunerKind) (policy.Policy, error) {
+	return policy.New(string(kind), e, e.policyParams())
+}
+
 // RunPolicy is the one round-loop driver of Algorithm 2's protocol,
 // shared by every tuning strategy: the full round span, with the policy
 // closed when the run ends. Close runs exactly once — deferred, so a

@@ -1,0 +1,405 @@
+// Package fleet runs many heterogeneous tenant databases — mixed
+// benchmarks, scale factors, and workload regimes — as one concurrent
+// tuning fleet, the production topology the single-tenant experiment
+// harness abstracts away. Every tenant is an independent, cell-seeded
+// deterministic environment driven by the shared round-loop driver
+// (env.RunPolicySpan), fanned across the bounded worker pool of
+// internal/runner, so a fleet's results are byte-identical at any
+// -parallel setting.
+//
+// The fleet reports fleet-level figures instead of per-run ones:
+// per-tenant totals plus p50/p95/p99 over every tenant-round of round
+// cost, index maintenance, and regret against each tenant's own
+// noindex baseline.
+//
+// Cross-tenant transfer: tenants marked Admitted join the fleet after
+// the incumbent tenants have trained, and warm-start their C2UCB
+// posterior from the most schema-similar incumbent — the incumbent's
+// round-boundary snapshot (policy.Snapshotter) is projected through
+// mab.TransferBasis into per-arm gain estimates that Tuner.WarmStart
+// consumes as hypothetical-round rewards. Every admitted tenant also
+// runs a cold-start control over the identical environment, so the
+// transfer benefit is measured, not assumed.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/env"
+	"dbabandits/internal/mab"
+	"dbabandits/internal/policy"
+	"dbabandits/internal/runner"
+)
+
+// TenantSpec identifies one tenant database of the fleet: its
+// benchmark, workload regime and sizing. Tenants are self-contained
+// cells — each builds its own database and workload sequence from a
+// seed derived from its Key — so the fleet may run them in any order,
+// concurrently, without changing any tenant's numbers.
+type TenantSpec struct {
+	// ID names the tenant within the fleet (unique, non-empty).
+	ID        string
+	Benchmark string
+	Regime    env.Regime
+	// ScaleFactor defaults to 10 (env.Options semantics).
+	ScaleFactor float64
+	// Rounds is the tenant's tuning-round count (0 = regime default).
+	Rounds int
+	// MaxStoredRows caps physical rows (0 = env default).
+	MaxStoredRows int
+	// Admitted marks a newly admitted tenant: it joins after the
+	// incumbent (non-Admitted) tenants have trained, warm-starts from
+	// the most schema-similar incumbent's posterior, and runs a
+	// cold-start control for comparison.
+	Admitted bool
+}
+
+// Key names the tenant cell within the fleet. It is the identity the
+// deterministic seed derivation hashes (runner.CellSeed), mirroring
+// harness.CellSpec.Key: equal keys and equal base seeds receive
+// identical private RNG streams.
+func (t TenantSpec) Key() string {
+	sf := t.ScaleFactor
+	if sf <= 0 {
+		sf = 10
+	}
+	return fmt.Sprintf("fleet/%s/%s/%s/sf%g/r%d", t.ID, t.Benchmark, t.Regime, sf, t.Rounds)
+}
+
+// Options tune one fleet run.
+type Options struct {
+	// BaseSeed is the fleet-wide seed every tenant's private seed is
+	// derived from (runner.CellSeed over the tenant Key).
+	BaseSeed int64
+	// Policy selects the tuning strategy every tenant runs (default
+	// mab). Cross-tenant transfer engages only for mab — other policies
+	// run the fleet topology without warm starts.
+	Policy env.TunerKind
+	// RidgeBackend selects the bandit's ridge backend ("" = sm).
+	RidgeBackend string
+	// ScoreWorkers bounds each tenant's arm-scoring worker pool; <= 0
+	// resolves to DefaultScoreWorkers(). Scores are byte-identical at
+	// any setting.
+	ScoreWorkers int
+	// TransferRounds is the number of hypothetical warm-start rounds an
+	// admitted tenant pre-trains with donor-estimated gains (default 3;
+	// the what-if warm start uses the same knob single-tenant).
+	TransferRounds int
+	// DisableTransfer runs admitted tenants cold (the fleet topology
+	// without cross-tenant learning); Control runs are still produced.
+	DisableTransfer bool
+	// Parallel bounds concurrently running tenants; <= 0 means
+	// runtime.GOMAXPROCS(0). Results are identical at any setting.
+	Parallel int
+	// Progress, when non-nil, receives one completion line per finished
+	// tenant (completion order, typically os.Stderr).
+	Progress io.Writer
+}
+
+// DefaultScoreWorkers is the fleet-mode arm-scoring parallelism: all
+// available cores (runtime.GOMAXPROCS(0)). Single-tenant CLIs keep the
+// serial default of 1 — a lone interactive run rarely gains from
+// fan-out, and the goldens were captured serial — but a fleet process
+// hosts many tenants and should use whatever cores the tenant-level
+// pool leaves idle. CI caveat: the CI container is single-CPU, so
+// there GOMAXPROCS(0) == 1 and fleet smoke runs still score serially;
+// the byte-identical-at-any-worker-count contract (pinned by the
+// score-parallel goldens) is what makes that a latency difference
+// only, never an output difference.
+func DefaultScoreWorkers() int { return runtime.GOMAXPROCS(0) }
+
+const defaultTransferRounds = 3
+
+// TenantResult is one tenant's outcome within a fleet run.
+type TenantResult struct {
+	Spec TenantSpec
+	// Seed is the tenant's derived private seed.
+	Seed int64
+	// Run is the tenant's tuned run — warm-started from the donor for
+	// admitted tenants (unless transfer was disabled or no donor
+	// matched).
+	Run *env.RunResult
+	// Baseline is the tenant's noindex run over the identical
+	// environment: the do-nothing reference regret is measured against.
+	Baseline *env.RunResult
+	// Control is the admitted tenant's cold-start run (no warm start)
+	// over the identical environment; nil for incumbent tenants.
+	Control *env.RunResult
+	// Donor is the incumbent tenant the warm start transferred from
+	// ("" when no transfer happened), and Similarity its schema
+	// similarity to this tenant.
+	Donor      string
+	Similarity float64
+	// Err reports a failed tenant (the fleet completes regardless);
+	// Error carries its message into the marshalled form.
+	Err   error  `json:"-"`
+	Error string `json:",omitempty"`
+}
+
+// Result is a completed fleet run: one TenantResult per spec, in spec
+// order regardless of completion order.
+type Result struct {
+	Tenants []TenantResult
+}
+
+// donor is an incumbent tenant's transferable state: its schema and
+// its round-boundary tuner snapshot.
+type donor struct {
+	id     string
+	schema *catalog.Schema
+	snap   *mab.TunerSnapshot
+}
+
+// phase1Out carries an incumbent tenant's result plus its donor state.
+type phase1Out struct {
+	tr TenantResult
+	d  *donor
+}
+
+// Run executes the fleet: incumbent tenants first (each trained to
+// completion, their posteriors snapshotted), then admitted tenants
+// (each warm-started from its best donor, with a cold-start control).
+// Both phases fan across the bounded worker pool; a failing tenant
+// reports its error in place without aborting siblings.
+func Run(tenants []TenantSpec, opts Options) (*Result, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("fleet: no tenants")
+	}
+	seen := map[string]bool{}
+	for _, t := range tenants {
+		if t.ID == "" {
+			return nil, fmt.Errorf("fleet: tenant with empty ID (benchmark %s)", t.Benchmark)
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("fleet: duplicate tenant ID %q", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	if opts.Policy == "" {
+		opts.Policy = env.MAB
+	}
+	if opts.TransferRounds <= 0 {
+		opts.TransferRounds = defaultTransferRounds
+	}
+	if opts.ScoreWorkers <= 0 {
+		opts.ScoreWorkers = DefaultScoreWorkers()
+	}
+
+	// Phase 1: incumbents. Index bookkeeping maps phase-local task
+	// order back to fleet spec order, so the final Tenants slice is in
+	// spec order however the phases interleave.
+	var incumbents, admitted []int
+	for i, t := range tenants {
+		if t.Admitted {
+			admitted = append(admitted, i)
+		} else {
+			incumbents = append(incumbents, i)
+		}
+	}
+	out := &Result{Tenants: make([]TenantResult, len(tenants))}
+
+	tasks := make([]runner.Task[phase1Out], len(incumbents))
+	labels := make([]string, len(incumbents))
+	for k, i := range incumbents {
+		spec := tenants[i]
+		labels[k] = spec.Key()
+		tasks[k] = func() (phase1Out, error) { return runIncumbent(spec, opts) }
+	}
+	ropts := runner.Options{Parallel: opts.Parallel}
+	if opts.Progress != nil {
+		ropts.OnDone = runner.Progress(opts.Progress, labels)
+	}
+	var donors []*donor
+	for k, r := range runner.Run(tasks, ropts) {
+		i := incumbents[k]
+		if r.Err != nil {
+			out.Tenants[i] = TenantResult{Spec: tenants[i], Err: r.Err, Error: r.Err.Error()}
+			continue
+		}
+		out.Tenants[i] = r.Value.tr
+		if r.Value.d != nil {
+			donors = append(donors, r.Value.d)
+		}
+	}
+
+	// Phase 2: admitted tenants, each against the complete donor pool.
+	// Donor order is incumbent spec order (runner.Run returns results
+	// in input order), so best-donor ties break deterministically.
+	tasks2 := make([]runner.Task[TenantResult], len(admitted))
+	labels2 := make([]string, len(admitted))
+	for k, i := range admitted {
+		spec := tenants[i]
+		labels2[k] = spec.Key()
+		tasks2[k] = func() (TenantResult, error) { return runAdmitted(spec, opts, donors) }
+	}
+	ropts2 := runner.Options{Parallel: opts.Parallel}
+	if opts.Progress != nil {
+		ropts2.OnDone = runner.Progress(opts.Progress, labels2)
+	}
+	for k, r := range runner.Run(tasks2, ropts2) {
+		i := admitted[k]
+		if r.Err != nil {
+			out.Tenants[i] = TenantResult{Spec: tenants[i], Err: r.Err, Error: r.Err.Error()}
+			continue
+		}
+		out.Tenants[i] = r.Value
+	}
+	return out, nil
+}
+
+// newTenantEnv prepares one tenant's environment from its spec and the
+// fleet options.
+func newTenantEnv(t TenantSpec, seed int64, opts Options) (*env.Environment, error) {
+	return env.New(env.Options{
+		Benchmark:     t.Benchmark,
+		Regime:        t.Regime,
+		ScaleFactor:   t.ScaleFactor,
+		MaxStoredRows: t.MaxStoredRows,
+		Rounds:        t.Rounds,
+		Seed:          seed,
+		MABOptions: mab.TunerOptions{
+			RidgeBackend: opts.RidgeBackend,
+			ScoreWorkers: opts.ScoreWorkers,
+		},
+	})
+}
+
+// runIncumbent trains one incumbent tenant end to end: noindex
+// baseline, tuned run, and — for the mab policy — a round-boundary
+// snapshot of the trained posterior through the policy.Snapshotter
+// seam, making the tenant a transfer donor.
+func runIncumbent(t TenantSpec, opts Options) (phase1Out, error) {
+	seed := runner.CellSeed(opts.BaseSeed, t.Key())
+	e, err := newTenantEnv(t, seed, opts)
+	if err != nil {
+		return phase1Out{}, fmt.Errorf("%s: %w", t.Key(), err)
+	}
+	baseline, err := e.Run(env.NoIndex)
+	if err != nil {
+		return phase1Out{}, fmt.Errorf("%s: noindex baseline: %w", t.Key(), err)
+	}
+	p, err := e.NewPolicy(opts.Policy)
+	if err != nil {
+		return phase1Out{}, fmt.Errorf("%s: %w", t.Key(), err)
+	}
+	defer p.Close()
+	res, err := e.RunPolicySpan(p, env.Span{})
+	if err != nil {
+		return phase1Out{}, fmt.Errorf("%s: %w", t.Key(), err)
+	}
+	res.Tuner = opts.Policy
+	out := phase1Out{tr: TenantResult{Spec: t, Seed: seed, Run: res, Baseline: baseline}}
+	if opts.Policy != env.MAB {
+		return out, nil
+	}
+	sn, ok := p.(policy.Snapshotter)
+	if !ok {
+		return out, nil
+	}
+	raw, err := sn.Snapshot()
+	if err != nil {
+		return phase1Out{}, fmt.Errorf("%s: donor snapshot: %w", t.Key(), err)
+	}
+	var snap mab.TunerSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return phase1Out{}, fmt.Errorf("%s: donor snapshot decode: %w", t.Key(), err)
+	}
+	out.d = &donor{id: t.ID, schema: e.Schema, snap: &snap}
+	return out, nil
+}
+
+// runAdmitted runs one newly admitted tenant: a warm-started run
+// transferring from the most schema-similar donor, then a cold-start
+// control over the identical environment. Transfer engages only for
+// the mab policy, with at least one donor of non-zero similarity, and
+// unless disabled; otherwise the "warm" run is itself cold and Donor
+// stays empty — the control still runs, so the output shape is stable.
+func runAdmitted(t TenantSpec, opts Options, donors []*donor) (TenantResult, error) {
+	seed := runner.CellSeed(opts.BaseSeed, t.Key())
+	e, err := newTenantEnv(t, seed, opts)
+	if err != nil {
+		return TenantResult{}, fmt.Errorf("%s: %w", t.Key(), err)
+	}
+	tr := TenantResult{Spec: t, Seed: seed}
+	tr.Baseline, err = e.Run(env.NoIndex)
+	if err != nil {
+		return TenantResult{}, fmt.Errorf("%s: noindex baseline: %w", t.Key(), err)
+	}
+
+	// Donor selection: maximum schema similarity, first donor winning
+	// ties (donor order is incumbent spec order, so this is
+	// deterministic at any parallelism).
+	var best *donor
+	if opts.Policy == env.MAB && !opts.DisableTransfer {
+		for _, d := range donors {
+			sim := mab.SchemaSimilarity(d.schema, e.Schema)
+			if sim > tr.Similarity {
+				tr.Similarity, best = sim, d
+			}
+		}
+	}
+	if best != nil {
+		basis, err := mab.NewTransferBasis(best.schema, best.snap)
+		if err != nil {
+			return TenantResult{}, fmt.Errorf("%s: transfer from %s: %w", t.Key(), best.id, err)
+		}
+		tr.Donor = best.id
+		predCols := mab.PredicateColumnSet(e.WorkloadAt(1))
+		dbBytes := e.DataSizeBytes()
+		e.Opts.MABWarmStartRounds = opts.TransferRounds
+		e.Opts.MABTransferGain = func(a *mab.Arm) float64 {
+			return basis.Gain(a, predCols, dbBytes)
+		}
+	} else {
+		tr.Similarity = 0
+	}
+	tr.Run, err = e.Run(opts.Policy)
+	if err != nil {
+		return TenantResult{}, fmt.Errorf("%s: %w", t.Key(), err)
+	}
+
+	// Cold-start control: same environment, no warm start. policyParams
+	// is projected from Opts at Run time, so clearing the transfer
+	// knobs here is all it takes.
+	e.Opts.MABWarmStartRounds = 0
+	e.Opts.MABTransferGain = nil
+	tr.Control, err = e.Run(opts.Policy)
+	if err != nil {
+		return TenantResult{}, fmt.Errorf("%s: cold-start control: %w", t.Key(), err)
+	}
+	return tr, nil
+}
+
+// DefaultFleet builds n heterogeneous tenants cycling through every
+// benchmark and regime at two scale factors, the last quarter (at
+// least one for n >= 4) admitted late so cross-tenant transfer has
+// donors and subjects. The cycle lengths (5 benchmarks, 4 regimes, 2
+// scale factors) are coprime enough that small fleets already mix
+// schemas, regimes and sizes.
+func DefaultFleet(n, rounds, maxStoredRows int) []TenantSpec {
+	benches := []string{"ssb", "tpch", "tpch-skew", "tpcds", "imdb"}
+	regimes := []env.Regime{env.Static, env.Shifting, env.Random, env.HTAP}
+	out := make([]TenantSpec, n)
+	for i := range out {
+		bench := benches[i%len(benches)]
+		regime := regimes[i%len(regimes)]
+		sf := 10.0
+		if i%2 == 1 {
+			sf = 1
+		}
+		out[i] = TenantSpec{
+			ID:            fmt.Sprintf("t%02d-%s-%s", i, bench, regime),
+			Benchmark:     bench,
+			Regime:        regime,
+			ScaleFactor:   sf,
+			Rounds:        rounds,
+			MaxStoredRows: maxStoredRows,
+			Admitted:      n >= 4 && i >= n-n/4,
+		}
+	}
+	return out
+}

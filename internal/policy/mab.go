@@ -41,7 +41,14 @@ func newMAB(e Env, p Params) (Policy, error) {
 	}
 	tuner := mab.NewTuner(e.Catalog(), e.DataSizeBytes(), opts)
 	if p.MABWarmStartRounds > 0 {
-		warmStartMAB(e, tuner, p.MABWarmStartRounds)
+		if p.MABTransferGain != nil {
+			// Cross-tenant transfer: the gain estimates come from a donor
+			// tenant's learned posterior instead of this tenant's what-if
+			// optimiser (fleet warm start).
+			tuner.WarmStart(e.WorkloadAt(1), p.MABTransferGain, p.MABWarmStartRounds)
+		} else {
+			warmStartMAB(e, tuner, p.MABWarmStartRounds)
+		}
 	}
 	return &mabPolicy{tuner: tuner}, nil
 }

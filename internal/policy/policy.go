@@ -161,6 +161,12 @@ type Params struct {
 	// MABWarmStartRounds pre-trains the bandit with what-if estimated
 	// rewards over round 1's workload (Section VII). 0 disables.
 	MABWarmStartRounds int
+	// MABTransferGain, when non-nil, replaces the what-if gain estimator
+	// for the warm-start rounds with an external per-arm estimate —
+	// typically a donor tenant's learned posterior projected through
+	// mab.TransferBasis (fleet cross-tenant warm start). Only consulted
+	// when MABWarmStartRounds > 0.
+	MABTransferGain func(*mab.Arm) float64
 	// DDQNSeed seeds the DDQN agent (repetitions use distinct seeds).
 	DDQNSeed int64
 	// RandomSeed seeds the random-configuration control policy.

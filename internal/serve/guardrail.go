@@ -80,14 +80,21 @@ func (g *guard) quarantined() bool {
 // baseline prices the window's queries under the last-known-safe
 // configuration via the what-if interface — the cost the system would
 // have paid had it never trusted the tuner past the last clean window.
-func (g *guard) baseline(opt *optimizer.Optimizer, queries []*query.Query) float64 {
-	var total float64
-	for _, q := range queries {
-		if c, err := opt.WhatIfCost(q, g.safe); err == nil {
-			total += c
+// Queries whose what-if pricing errors are excluded from the baseline
+// and reported by position in failed, so the caller can exclude their
+// realized cost from the guardrail comparison too: judging the full
+// realized cost against a partial baseline would deflate the yardstick
+// and spuriously trip quarantine on a healthy window.
+func (g *guard) baseline(opt *optimizer.Optimizer, queries []*query.Query) (total float64, failed []int) {
+	for i, q := range queries {
+		c, err := opt.WhatIfCost(q, g.safe)
+		if err != nil {
+			failed = append(failed, i)
+			continue
 		}
+		total += c
 	}
-	return total
+	return total, failed
 }
 
 // observe judges one executed window: realized cost against the

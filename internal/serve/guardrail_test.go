@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"dbabandits/internal/index"
+	"dbabandits/internal/query"
+)
+
+// TestBaselineWhatIfFailureNoFalseQuarantine is the regression test for
+// the deflated-baseline bug: guard.baseline used to silently drop
+// queries whose what-if pricing errors, so a window containing an
+// unpriceable query was judged with its FULL realized cost against a
+// PARTIAL baseline — enough deflation and a perfectly healthy window
+// trips quarantine. The fix reports the failed positions so the caller
+// excludes the same queries from the realized side, keeping the
+// comparison like against like.
+func TestBaselineWhatIfFailureNoFalseQuarantine(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st := NewStream(strings.NewReader("1 2 3 4\n"), s)
+	win, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A statement the what-if interface cannot price: it references a
+	// table the schema does not have.
+	bad := &query.Query{TemplateID: 999, Tables: []string{"no_such_table"}}
+	if _, err := s.env.WhatIf().WhatIfCost(bad, index.NewConfig()); err == nil {
+		t.Fatal("expected a what-if failure for a query on an unknown table")
+	}
+	window := append(append([]*query.Query{}, win...), bad)
+
+	g := newGuard(GuardrailOptions{BudgetX: 1.2, QuarantineAfter: 1, CooldownWindows: 1})
+	baseline, failed := g.baseline(s.env.WhatIf(), window)
+	if len(failed) != 1 || failed[0] != len(window)-1 {
+		t.Fatalf("failed positions = %v, want [%d]", failed, len(window)-1)
+	}
+	cleanBaseline, noneFailed := g.baseline(s.env.WhatIf(), win)
+	if len(noneFailed) != 0 {
+		t.Fatalf("clean window reported failed positions %v", noneFailed)
+	}
+	if baseline != cleanBaseline || baseline <= 0 {
+		t.Fatalf("baseline = %v with the bad query, %v without; want equal and positive", baseline, cleanBaseline)
+	}
+
+	// A healthy window: the priceable queries realize exactly their
+	// baseline cost, and the unpriceable query realizes a cost as large
+	// as the rest of the window together. Judged the fixed way — failed
+	// query excluded from both sides — the window is clean.
+	badRealized := baseline
+	if v, q := g.observe(baseline, baseline, index.NewConfig()); v || q {
+		t.Fatalf("false positive: violation=%v quarantine=%v on a healthy window judged with the failed query excluded", v, q)
+	}
+	// The pre-fix judgement — full realized cost against the deflated
+	// baseline — trips the guardrail on the same healthy window, which
+	// is exactly the spurious quarantine the fix removes.
+	if v, q := g.observe(baseline+badRealized, baseline, index.NewConfig()); !v || !q {
+		t.Fatalf("violation=%v quarantine=%v: expected the deflated-baseline judgement to trip (the bug this test pins)", v, q)
+	}
+}
+
+// TestStreamSkipErrorReportsTargetWindow is the regression test for the
+// Skip error message: it used to print the skip COUNT as the target
+// window, which only coincides with the true target when the stream is
+// fresh. A restored session that has already consumed windows must
+// report the absolute window the skip was heading for.
+func TestStreamSkipErrorReportsTargetWindow(t *testing.T) {
+	s, err := New(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Consume one window first, then skip 3 more with only 1 remaining:
+	// the stream ends at window 2 while heading for window 1+3 = 4. The
+	// pre-fix message said "skipping to 3" — the count, not the target.
+	st := NewStream(strings.NewReader("1 2\n3\n"), s)
+	if _, err := st.Next(); err != nil {
+		t.Fatal(err)
+	}
+	err = st.Skip(3)
+	if err == nil {
+		t.Fatal("skip past stream end accepted")
+	}
+	want := "stream ended at window 2 while skipping to 4"
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("skip error %q, want it to contain %q", err, want)
+	}
+}

@@ -203,12 +203,20 @@ func (s *Session) Feed(queries []*query.Query) (*WindowReport, error) {
 		return nil, err
 	}
 	rep.ExecSec = execSec
-	rep.BaselineSec = s.guard.baseline(s.env.WhatIf(), queries)
+	baseline, failed := s.guard.baseline(s.env.WhatIf(), queries)
+	rep.BaselineSec = baseline
 
 	s.pol.Observe(stats, perCreate)
 	s.lastWindow = queries
 
-	violation, quarantineNow := s.guard.observe(createSec+execSec, rep.BaselineSec, s.cfg)
+	// Judge like against like: a query the baseline could not price is
+	// excluded from the realized side too, so an unpriceable query can
+	// never deflate the yardstick and spuriously trip quarantine.
+	realized := createSec + execSec
+	for _, i := range failed {
+		realized -= stats[i].TotalSec
+	}
+	violation, quarantineNow := s.guard.observe(realized, rep.BaselineSec, s.cfg)
 	rep.Violation = violation
 	if quarantineNow {
 		// Revert immediately: dropping indexes is free, so the safe

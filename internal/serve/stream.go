@@ -52,10 +52,14 @@ func NewStream(r io.Reader, s *Session) *Stream {
 // session fast-forwards past the part of the stream the checkpointed
 // run already served. It errors if the stream ends early.
 func (st *Stream) Skip(n int) error {
+	// The skip target is absolute: n windows past wherever the stream
+	// already is, not window n (a restored stream may have consumed a
+	// prefix before skipping).
+	target := st.window + n
 	for i := 0; i < n; i++ {
 		if _, err := st.nextLine(); err != nil {
 			if err == io.EOF {
-				return fmt.Errorf("serve: stream ended at window %d while skipping to %d", st.window, n)
+				return fmt.Errorf("serve: stream ended at window %d while skipping to %d", st.window, target)
 			}
 			return err
 		}
