@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke scoresmoke fleetsmoke cover bench benchsweep benchsmoke benchdiff ci
+.PHONY: build test race fmt vet smoke htapsmoke ridgesmoke servesmoke scoresmoke fleetsmoke plancachesmoke cover bench benchsweep benchsmoke benchdiff ci
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # for the parallel arm-scoring tests: shards score a shared ridge core
 # concurrently, and -race proves the read-only discipline.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/linalg/... ./internal/mab/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/... ./internal/fleet/...
+	$(GO) test -race ./internal/runner/... ./internal/linalg/... ./internal/mab/... ./internal/harness/... ./internal/policy/... ./internal/env/... ./internal/serve/... ./internal/fleet/... ./internal/optimizer/... ./internal/engine/...
 
 # Fails when any file needs gofmt, listing the offenders.
 fmt:
@@ -74,6 +74,16 @@ fleetsmoke:
 	diff .fleet_p1.out .fleet_p4.out
 	@rm -f .fleet_p1.out .fleet_p4.out
 
+# Plan-cache smoke mirroring CI: Figure 2 regenerated with the
+# optimiser's config-fingerprinted plan cache on (the default) and off,
+# stdout byte-compared — the cache is a wall-clock optimisation and must
+# never change a plan, a cost, or a count.
+plancachesmoke:
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 > .pc_on.out
+	$(GO) run ./cmd/experiments -exp fig2 -quick -parallel 4 -plan-cache=false > .pc_off.out
+	diff .pc_on.out .pc_off.out
+	@rm -f .pc_on.out .pc_off.out
+
 servesmoke:
 	@printf '1 2 3 4\n2 3 1\n5 5 2\n1 4\n3 2 1\n' > .serve_stream.txt
 	$(GO) run ./cmd/serve -stream .serve_stream.txt > .serve_full.out
@@ -96,11 +106,11 @@ cover:
 # cmd/benchjson, so the perf trajectory is tracked in-repo. Compare
 # against BENCH_baseline.json (captured at the pre-sparse-fast-path
 # commit) — see the README's Performance section.
-BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkTunerRecommendSteadyState$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresBatchParallel$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkCholObserveFused$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkForgetLowRank$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$|BenchmarkFleetRound$$'
+BENCH_PATTERN = 'BenchmarkTunerRecommendTPCDS$$|BenchmarkTunerRecommendSteadyState$$|BenchmarkScoresTPCDS$$|BenchmarkScoresBatch$$|BenchmarkScoresBatchParallel$$|BenchmarkScoresSparse$$|BenchmarkScoresDenseTPCDS$$|BenchmarkThetaCached$$|BenchmarkThetaRecompute$$|BenchmarkCholObserve$$|BenchmarkCholObserveFused$$|BenchmarkRidgeObserveScore$$|BenchmarkRidgeObserveScoreSparse$$|BenchmarkRidgeForget$$|BenchmarkForgetLowRank$$|BenchmarkRidgeObserve$$|BenchmarkC2UCBScores$$|BenchmarkArmGeneration$$|BenchmarkFleetRound$$|BenchmarkChoosePlanCold$$|BenchmarkChoosePlanWarm$$|BenchmarkWhatIfWorkloadCold$$|BenchmarkWhatIfWorkloadWarm$$|BenchmarkEnvRoundSteadyState$$'
 
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_PATTERN) -benchmem ./... > .bench.out
-	$(GO) run ./cmd/benchjson -label ridge=sm -label score-workers=1,2,4 < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
+	$(GO) run ./cmd/benchjson -label ridge=sm -label score-workers=1,2,4 -label plan-cache=on < .bench.out > BENCH_$$(git rev-parse --short HEAD).json
 	@rm -f .bench.out
 	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
 
@@ -114,9 +124,9 @@ BENCH_LATEST = BENCH_9c84fbd.json
 # alloc budget is what keeps TunerRecommend's arena path flat.
 # Benchmarks new since that capture are reported but never gated.
 benchdiff:
-	$(GO) test -run '^$$' -bench 'Observe|Scores|TunerRecommend' -benchmem ./internal/linalg/ ./internal/mab/ > .benchdiff.out
+	$(GO) test -run '^$$' -bench 'Observe|Scores|TunerRecommend|ChoosePlan|WhatIfWorkload|EnvRound' -benchmem . ./internal/linalg/ ./internal/mab/ ./internal/env/ > .benchdiff.out
 	$(GO) run ./cmd/benchjson < .benchdiff.out > .benchdiff.json
-	@$(GO) run ./cmd/benchdiff -only 'Observe|Scores|TunerRecommend' -fail-over 30 -fail-over-allocs 30 $(BENCH_LATEST) .benchdiff.json; \
+	@$(GO) run ./cmd/benchdiff -only 'Observe|Scores|TunerRecommend|ChoosePlan|WhatIfWorkload|EnvRound' -fail-over 30 -fail-over-allocs 30 $(BENCH_LATEST) .benchdiff.json; \
 	status=$$?; rm -f .benchdiff.out .benchdiff.json; exit $$status
 
 # Parallel-runner speedup benchmark (sequential vs all-CPU sweep).
@@ -135,4 +145,4 @@ benchsmoke:
 
 # cover subsumes test (go test -cover runs the full suite), so ci pays
 # for one suite pass plus the race pass, matching the CI workflow.
-ci: fmt vet build cover race smoke htapsmoke ridgesmoke scoresmoke servesmoke fleetsmoke benchsmoke benchdiff
+ci: fmt vet build cover race smoke htapsmoke ridgesmoke scoresmoke plancachesmoke servesmoke fleetsmoke benchsmoke benchdiff

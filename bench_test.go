@@ -501,3 +501,86 @@ func BenchmarkWhatIfCost(b *testing.B) {
 		}
 	}
 }
+
+// --- plan & what-if cache (PR 10) ---
+
+// benchPlanFixture builds the pricing fixture the cache benchmarks
+// share: TPC-H Q5 (6-way join) plus the full template workload, under a
+// configuration with indexes on the hot tables.
+func benchPlanFixture(b *testing.B) (*optimizer.Optimizer, *optimizer.Optimizer, *Query, []*Query, *index.Config) {
+	b.Helper()
+	schema, db := benchArmFixture(b)
+	cm := engine.DefaultCostModel()
+	bench, _ := workload.ByName("tpch")
+	rng := rand.New(rand.NewSource(5))
+	q := bench.Templates[4].Instantiate(rng, db, "tpch") // Q5: 6-way join
+	var wl []*Query
+	for _, ts := range bench.Templates {
+		wl = append(wl, ts.Instantiate(rng, db, "tpch"))
+	}
+	cfg := index.NewConfig()
+	cfg.Add(index.New("lineitem", []string{"l_shipdate"}, []string{"l_extendedprice", "l_discount"}))
+	cfg.Add(index.New("orders", []string{"o_orderdate"}, nil))
+	cfg.Add(index.New("customer", []string{"c_mktsegment"}, nil))
+	return optimizer.New(schema, cm), optimizer.NewUncached(schema, cm), q, wl, cfg
+}
+
+// BenchmarkChoosePlanCold is the uncached full greedy search — the
+// pre-PR-10 cost of every optimiser invocation and the denominator of
+// the cache's speedup claim.
+func BenchmarkChoosePlanCold(b *testing.B) {
+	_, uncached, q, _, cfg := benchPlanFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uncached.ChoosePlan(q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChoosePlanWarm re-prices an unchanged configuration — the
+// steady-state round's dominant call pattern, answered by the cache's
+// (config pointer, epoch) fast path.
+func BenchmarkChoosePlanWarm(b *testing.B) {
+	cached, _, q, _, cfg := benchPlanFixture(b)
+	if _, err := cached.ChoosePlan(q, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cached.ChoosePlan(q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatIfWorkloadCold prices the full TPC-H template workload
+// uncached, per call.
+func BenchmarkWhatIfWorkloadCold(b *testing.B) {
+	_, uncached, _, wl, cfg := benchPlanFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := uncached.WhatIfWorkloadCost(wl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatIfWorkloadWarm prices the same workload with the cache
+// primed — the advisor/PDTool/guardrail repeat-pricing pattern.
+func BenchmarkWhatIfWorkloadWarm(b *testing.B) {
+	cached, _, _, wl, cfg := benchPlanFixture(b)
+	if _, _, err := cached.WhatIfWorkloadCost(wl, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cached.WhatIfWorkloadCost(wl, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

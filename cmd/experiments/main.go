@@ -37,6 +37,7 @@ var (
 	sf, rows, seed     = cli.Data(flag.CommandLine)
 	ridge              = cli.Ridge(flag.CommandLine)
 	scorePar           = cli.ScoreParallel(flag.CommandLine)
+	planCache          = cli.PlanCache(flag.CommandLine)
 	parallel, progress = cli.Parallel(flag.CommandLine)
 
 	reps  = flag.Int("reps", 3, "repetitions for the RL comparison (paper: 10)")
@@ -167,6 +168,7 @@ func cellSpec(bench string, regime harness.Regime, kind harness.TunerKind) harne
 	}
 	opts.MABOptions.RidgeBackend = *ridge
 	opts.MABOptions.ScoreWorkers = *scorePar
+	opts.DisablePlanCache = !*planCache
 	return harness.CellSpec{Options: opts, Tuner: kind}
 }
 
@@ -241,6 +243,7 @@ func table2() {
 				}
 				opts.MABOptions.RidgeBackend = *ridge
 				opts.MABOptions.ScoreWorkers = *scorePar
+				opts.DisablePlanCache = !*planCache
 				specs = append(specs, harness.CellSpec{Options: opts, Tuner: kind})
 			}
 		}
@@ -330,6 +333,7 @@ func fig8() {
 				}
 				opts.MABOptions.RidgeBackend = *ridge
 				opts.MABOptions.ScoreWorkers = *scorePar
+				opts.DisablePlanCache = !*planCache
 				specs = append(specs, harness.CellSpec{
 					Options: opts,
 					Tuner:   kind,

@@ -40,6 +40,7 @@ var (
 	ridge              = cli.Ridge(flag.CommandLine)
 	pol                = cli.Policy(flag.CommandLine, "policy", "mab")
 	scorePar           = cli.ScoreParallelAuto(flag.CommandLine)
+	planCache          = cli.PlanCache(flag.CommandLine)
 	parallel, progress = cli.Parallel(flag.CommandLine)
 
 	tenants        = flag.Int("tenants", 8, "fleet size (last quarter admitted late)")
@@ -57,13 +58,14 @@ func main() {
 
 	specs := fleet.DefaultFleet(*tenants, *rounds, *rows)
 	opts := fleet.Options{
-		BaseSeed:        *seed,
-		Policy:          env.TunerKind(*pol),
-		RidgeBackend:    *ridge,
-		ScoreWorkers:    *scorePar,
-		TransferRounds:  *transferRounds,
-		DisableTransfer: *noTransfer,
-		Parallel:        *parallel,
+		BaseSeed:         *seed,
+		Policy:           env.TunerKind(*pol),
+		RidgeBackend:     *ridge,
+		ScoreWorkers:     *scorePar,
+		TransferRounds:   *transferRounds,
+		DisableTransfer:  *noTransfer,
+		Parallel:         *parallel,
+		DisablePlanCache: !*planCache,
 	}
 	if *progress {
 		opts.Progress = os.Stderr

@@ -46,6 +46,7 @@ func main() {
 		ridge          = cli.Ridge(flag.CommandLine)
 		scorePar       = cli.ScoreParallel(flag.CommandLine)
 		forgetRank     = cli.ForgetRank(flag.CommandLine)
+		planCache      = cli.PlanCache(flag.CommandLine)
 
 		regime = flag.String("regime", "static", "workload regime: static|shifting|random|htap")
 		tuners = flag.String("tuner", "noindex,pdtool,mab",
@@ -73,6 +74,7 @@ func main() {
 	opts.MABOptions.RidgeBackend = *ridge
 	opts.MABOptions.ScoreWorkers = *scorePar
 	opts.MABOptions.ForgetRank = *forgetRank
+	opts.DisablePlanCache = !*planCache
 	exp, err := harness.New(opts)
 	if err != nil {
 		cli.Fatal("mabtune", err)

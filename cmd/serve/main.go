@@ -39,6 +39,7 @@ func main() {
 		ridge          = cli.Ridge(flag.CommandLine)
 		scorePar       = cli.ScoreParallel(flag.CommandLine)
 		forgetRank     = cli.ForgetRank(flag.CommandLine)
+		planCache      = cli.PlanCache(flag.CommandLine)
 		pol            = cli.Policy(flag.CommandLine, "policy", "mab")
 
 		streamPath = flag.String("stream", "-", "window stream file ('-' = stdin)")
@@ -70,15 +71,16 @@ func main() {
 		s, err = serve.RestoreFile(*ckptPath)
 	} else {
 		s, err = serve.New(serve.Options{
-			Benchmark:     *bench,
-			ScaleFactor:   *sf,
-			MaxStoredRows: *rows,
-			Seed:          *seed,
-			MemoryBudgetX: *budget,
-			Policy:        *pol,
-			RidgeBackend:  *ridge,
-			ScoreWorkers:  *scorePar,
-			ForgetRank:    *forgetRank,
+			Benchmark:        *bench,
+			ScaleFactor:      *sf,
+			MaxStoredRows:    *rows,
+			Seed:             *seed,
+			MemoryBudgetX:    *budget,
+			Policy:           *pol,
+			RidgeBackend:     *ridge,
+			ScoreWorkers:     *scorePar,
+			ForgetRank:       *forgetRank,
+			DisablePlanCache: !*planCache,
 			Guardrail: serve.GuardrailOptions{
 				Disabled:        *noGuard,
 				BudgetX:         *guardX,

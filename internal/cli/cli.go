@@ -39,10 +39,29 @@ func Budget(fs *flag.FlagSet) *float64 {
 	return fs.Float64("budget", 1, "memory budget as a multiple of data size")
 }
 
-// Ridge registers the -ridge backend selector.
+// Ridge registers the -ridge backend selector. The default is sm for
+// every single-run CLI: with skyline-batched solves, sm scores a warm
+// TPC-DS round in ~8.7µs versus ~55µs for chol, and a single
+// deterministic batch run cannot hit the slow numerical-drift regimes
+// chol exists for. Long-lived serving sessions are the case for
+// -ridge chol — the factored form cannot lose positive-definiteness
+// under millions of rank-one updates — and both backends are pinned
+// byte-identical on every golden, so switching is a latency/robustness
+// trade only. See README "Ridge backend defaults".
 func Ridge(fs *flag.FlagSet) *string {
 	return fs.String("ridge", linalg.BackendSM,
-		"MAB ridge backend: sm (Sherman–Morrison inverse) | chol (factored Cholesky)")
+		"MAB ridge backend: sm (Sherman–Morrison inverse; fastest) | chol (factored Cholesky; drift-proof for long serving runs)")
+}
+
+// PlanCache registers the -plan-cache toggle for the optimiser's
+// config-fingerprinted plan & what-if cost cache. On by default; off is
+// the A/B control that re-runs the full greedy search on every call.
+// Results are byte-identical either way — plans, costs, goldens and
+// PDTool WhatIfCalls/RecommendSec accounting do not change — so this is
+// purely a wall-clock knob.
+func PlanCache(fs *flag.FlagSet) *bool {
+	return fs.Bool("plan-cache", true,
+		"cache optimiser plans by (query, relevant-index fingerprint); false = uncached A/B control (identical output)")
 }
 
 // ScoreParallel registers the -score-parallel knob: worker goroutines

@@ -1,0 +1,47 @@
+package env
+
+import (
+	"testing"
+)
+
+// BenchmarkEnvRoundSteadyState measures one full warm round of the
+// environment driver — Recommend, diff + creation pricing, workload
+// execution under the plan cache, and Observe — after the bandit and the
+// optimiser's caches have both settled. This is the end-to-end number
+// the per-layer caches (PR 8 tuner arena, PR 10 plan cache) compose
+// into: the steady-state simulated round as the fleet and serving loops
+// experience it.
+func BenchmarkEnvRoundSteadyState(b *testing.B) {
+	e, err := New(Options{
+		Benchmark:     "ssb",
+		Regime:        Static,
+		Rounds:        4,
+		ScaleFactor:   10,
+		MaxStoredRows: 1500,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := e.NewPolicy(MAB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	// Warm phase: run the span so the policy converges and the plan
+	// cache holds every (query, fingerprint) the steady state revisits.
+	if _, err := e.RunPolicySpan(p, Span{}); err != nil {
+		b.Fatal(err)
+	}
+	// Steady state: drive rounds 5..4+N as one span, so each timed round
+	// sees the real warm-loop pattern — the policy prices the previous
+	// round's already-planned query instances (plan-cache hits) while the
+	// fresh round's instances plan cold. Sequencers are pure functions of
+	// (seed, round), so rounds past Opts.Rounds are well-defined; ns/op
+	// and allocs/op read as per-round costs.
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := e.RunPolicySpan(p, Span{From: 5, To: 4 + b.N}); err != nil {
+		b.Fatal(err)
+	}
+}

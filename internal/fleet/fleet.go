@@ -92,6 +92,9 @@ type Options struct {
 	// DisableTransfer runs admitted tenants cold (the fleet topology
 	// without cross-tenant learning); Control runs are still produced.
 	DisableTransfer bool
+	// DisablePlanCache turns off each tenant's optimiser plan cache
+	// (A/B control; fleet reports are byte-identical either way).
+	DisablePlanCache bool
 	// Parallel bounds concurrently running tenants; <= 0 means
 	// runtime.GOMAXPROCS(0). Results are identical at any setting.
 	Parallel int
@@ -265,6 +268,7 @@ func newTenantEnv(t TenantSpec, seed int64, opts Options) (*env.Environment, err
 			RidgeBackend: opts.RidgeBackend,
 			ScoreWorkers: opts.ScoreWorkers,
 		},
+		DisablePlanCache: opts.DisablePlanCache,
 	})
 }
 

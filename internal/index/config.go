@@ -2,6 +2,8 @@ package index
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"dbabandits/internal/catalog"
 )
@@ -11,6 +13,20 @@ import (
 type Config struct {
 	byID    map[string]*Index
 	byTable map[string][]*Index
+
+	// epoch counts content mutations (successful Add/Drop). The
+	// optimiser's plan cache uses (pointer, epoch) as a same-content
+	// fast path: a Config can only change through Add/Drop, so an
+	// unchanged epoch on the same object proves unchanged content.
+	epoch uint64
+	// sigs memoises TableSig per table, invalidated on Add/Drop. Lazy:
+	// configs that never reach the optimiser pay nothing. sigMu permits
+	// concurrent TableSig readers (parallel what-if pricing of one
+	// config) to race only on the memo, never on the content maps —
+	// mutating a Config while it is being priced remains forbidden,
+	// exactly as for OnTable.
+	sigMu sync.Mutex
+	sigs  map[string]string
 }
 
 // NewConfig returns an empty configuration.
@@ -40,6 +56,7 @@ func (c *Config) Add(ix *Index) bool {
 	c.byID[id] = ix
 	c.byTable[ix.Table] = append(c.byTable[ix.Table], ix)
 	sortIndexes(c.byTable[ix.Table])
+	c.mutated(ix.Table)
 	return true
 }
 
@@ -60,8 +77,75 @@ func (c *Config) Drop(id string) bool {
 	if len(c.byTable[ix.Table]) == 0 {
 		delete(c.byTable, ix.Table)
 	}
+	c.mutated(ix.Table)
 	return true
 }
+
+// mutated records a content change: the epoch advances and the touched
+// table's memoised signature is invalidated.
+func (c *Config) mutated(table string) {
+	c.epoch++
+	if c.sigs != nil {
+		c.sigMu.Lock()
+		delete(c.sigs, table)
+		c.sigMu.Unlock()
+	}
+}
+
+// Epoch returns the mutation counter: it advances on every successful
+// Add or Drop and never otherwise, so equal epochs on the same Config
+// object guarantee identical content. A nil Config reports 0.
+func (c *Config) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch
+}
+
+// TableSig returns a canonical content signature of the configuration's
+// indexes on one table: the sorted index ids joined by an unprintable
+// separator, "" for a table with no indexes (or a nil Config). Equal
+// signatures mean equal index sets, so the optimiser's plan cache can
+// recognise that two configurations are indistinguishable for a query
+// touching only this table. Computed lazily and memoised until the next
+// Add/Drop on the table; safe for concurrent readers.
+func (c *Config) TableSig(table string) string {
+	if c == nil {
+		return ""
+	}
+	list := c.byTable[table]
+	if len(list) == 0 {
+		return ""
+	}
+	c.sigMu.Lock()
+	defer c.sigMu.Unlock()
+	if s, ok := c.sigs[table]; ok {
+		return s
+	}
+	n := 0
+	for _, ix := range list {
+		n += len(ix.ID()) + 1
+	}
+	var b strings.Builder
+	b.Grow(n - 1)
+	for i, ix := range list {
+		if i > 0 {
+			b.WriteByte(tableSigSep)
+		}
+		b.WriteString(ix.ID())
+	}
+	s := b.String()
+	if c.sigs == nil {
+		c.sigs = map[string]string{}
+	}
+	c.sigs[table] = s
+	return s
+}
+
+// tableSigSep separates index ids inside TableSig values; index ids are
+// built from identifier characters and "( ),", so a control byte can
+// never collide.
+const tableSigSep = 0x1f
 
 // Has reports whether the configuration contains the index id.
 func (c *Config) Has(id string) bool {
@@ -156,6 +240,21 @@ func (c *Config) IDs() []string {
 	return out
 }
 
+// sortIndexes orders a list by ID. Insertion sort, not sort.Slice: the
+// lists are per-table index sets (a handful of entries, usually already
+// nearly sorted — Add appends one element to a sorted list), and
+// sort.Slice's reflect.Swapper + closure were ~23 allocs per warm
+// recommend round in BenchmarkTunerRecommendSteadyState. IDs are unique,
+// so the resulting order is identical to the previous implementation.
 func sortIndexes(list []*Index) {
-	sort.Slice(list, func(i, j int) bool { return list[i].ID() < list[j].ID() })
+	for i := 1; i < len(list); i++ {
+		ix := list[i]
+		id := ix.ID()
+		j := i - 1
+		for j >= 0 && list[j].ID() > id {
+			list[j+1] = list[j]
+			j--
+		}
+		list[j+1] = ix
+	}
 }

@@ -299,3 +299,95 @@ func TestQuickSeekPrefixBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestConfigEpochAdvancesOnMutation(t *testing.T) {
+	c := NewConfig()
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", c.Epoch())
+	}
+	a := New("orders", []string{"o_custkey"}, nil)
+	c.Add(a)
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch after add = %d", c.Epoch())
+	}
+	// Failed mutations are not content changes.
+	c.Add(New("orders", []string{"o_custkey"}, nil)) // duplicate
+	c.Drop("no-such-id")
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch moved on no-op mutations: %d", c.Epoch())
+	}
+	c.Drop(a.ID())
+	if c.Epoch() != 2 {
+		t.Fatalf("epoch after drop = %d", c.Epoch())
+	}
+	var nilCfg *Config
+	if nilCfg.Epoch() != 0 {
+		t.Fatal("nil Config epoch non-zero")
+	}
+}
+
+func TestConfigTableSig(t *testing.T) {
+	c := NewConfig()
+	if c.TableSig("orders") != "" {
+		t.Fatal("empty table sig non-empty")
+	}
+	a := New("orders", []string{"o_custkey"}, nil)
+	b := New("orders", []string{"o_date"}, nil)
+	other := New("customer", []string{"c_nation"}, nil)
+	c.Add(a)
+	c.Add(b)
+	c.Add(other)
+	sig := c.TableSig("orders")
+	if sig == "" || sig == c.TableSig("customer") {
+		t.Fatalf("bad sig %q", sig)
+	}
+	if c.TableSig("orders") != sig {
+		t.Fatal("memoised sig unstable")
+	}
+
+	// Same content in a different Config (built in a different order)
+	// yields the same signature.
+	d := NewConfig()
+	d.Add(b)
+	d.Add(a)
+	if d.TableSig("orders") != sig {
+		t.Fatalf("order-dependent sig: %q vs %q", d.TableSig("orders"), sig)
+	}
+
+	// Mutating one table invalidates only that table's signature.
+	custSig := c.TableSig("customer")
+	c.Drop(b.ID())
+	if c.TableSig("orders") == sig {
+		t.Fatal("sig unchanged after drop")
+	}
+	if c.TableSig("customer") != custSig {
+		t.Fatal("unrelated table sig changed")
+	}
+	c.Add(b)
+	if c.TableSig("orders") != sig {
+		t.Fatal("sig not restored after re-add")
+	}
+
+	var nilCfg *Config
+	if nilCfg.TableSig("orders") != "" {
+		t.Fatal("nil Config sig non-empty")
+	}
+}
+
+func TestConfigTableSigConcurrentReaders(t *testing.T) {
+	c := NewConfig()
+	c.Add(New("orders", []string{"o_custkey"}, nil))
+	c.Add(New("orders", []string{"o_date"}, nil))
+	want := c.TableSig("orders")
+	c.Drop(New("orders", []string{"o_date"}, nil).ID())
+	c.Add(New("orders", []string{"o_date"}, nil)) // sig recomputes lazily
+	done := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- c.TableSig("orders") }()
+	}
+	for i := 0; i < 8; i++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent sig %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,605 @@
+package optimizer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dbabandits/internal/catalog"
+	"dbabandits/internal/engine"
+	"dbabandits/internal/index"
+	"dbabandits/internal/query"
+)
+
+// This file is the optimiser's config-fingerprinted caching layer. The
+// observation it exploits: ChoosePlan's output depends on the
+// configuration only through the per-table subsets of indexes that pass
+// the relevance screen — an index with no usable seek prefix, no
+// covering property, and a leading key column that is not one of the
+// query's join columns on its table can never enter bestAccess or
+// nlInnerAccess, so adding or dropping it cannot change the plan. Three
+// memo levels fall out of that:
+//
+//  1. a plan cache per query instance, keyed by the concatenated
+//     relevant-index fingerprint (index.Config.TableSig per table,
+//     screened per query), so the advisor/PDTool/guardrail paths that
+//     re-price the same queries against many candidate configurations
+//     plan each distinct relevant combination once;
+//  2. an accessChoice/NL-access memo per (table, predicate-set,
+//     relevant-index-set), shared across the per-driver loop inside one
+//     ChoosePlan (the greedy search calls bestAccess O(tables²) times)
+//     and across every configuration mapping to the same relevant set;
+//  3. scratch-carried planning state (metas, filtered-row estimates,
+//     FiltersOn results, the joined set, step buffers) computed once
+//     per query instance, so even a cache-miss ChoosePlan allocates
+//     only the plan it returns.
+//
+// Everything is byte-identical to the uncached search: the screen
+// filters cfg.OnTable's deterministic order without reordering, costs
+// are computed by the same expressions in the same order, and errors
+// are never cached. Accounting is preserved — WhatIfCalls counts
+// logical optimiser invocations whether or not they hit the cache.
+
+const (
+	// maxCachedQueries bounds the entry map. Batch sequencers instantiate
+	// fresh query objects every round, so entries for dead instances
+	// accumulate; past the cap the whole map is dropped (counted as one
+	// invalidation) rather than leaking for the length of a serving run.
+	maxCachedQueries = 4096
+	// maxPlansPerQuery bounds one query's fingerprint→plan map.
+	maxPlansPerQuery = 1024
+	// maxSetsPerTable bounds one table's signature→relevant-set memo.
+	maxSetsPerTable = 512
+)
+
+// PlanCacheStats are the cache's cumulative counters. Hits and Misses
+// count ChoosePlan calls answered from / added to the plan cache;
+// Invalidations counts relevant-set rescans forced by configuration
+// content changes plus capacity evictions. They feed benchmarks and
+// logs only — no golden-pinned output includes them.
+type PlanCacheStats struct {
+	Hits, Misses, Invalidations uint64
+}
+
+// planCache is the optimiser-level cache state. The entries map is
+// guarded by mu; each entry carries its own lock, so parallel what-if
+// pricing serialises only on same-query collisions.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[*query.Query]*queryEntry
+
+	hits, misses, invalidations atomic.Uint64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[*query.Query]*queryEntry)}
+}
+
+// CacheStats returns a snapshot of the plan-cache counters; zero-valued
+// for an uncached optimiser.
+func (o *Optimizer) CacheStats() PlanCacheStats {
+	if o.cache == nil {
+		return PlanCacheStats{}
+	}
+	return PlanCacheStats{
+		Hits:          o.cache.hits.Load(),
+		Misses:        o.cache.misses.Load(),
+		Invalidations: o.cache.invalidations.Load(),
+	}
+}
+
+// CacheEnabled reports whether this optimiser carries a plan cache.
+func (o *Optimizer) CacheEnabled() bool { return o.cache != nil }
+
+// relIndex is one index that passed the relevance screen, with the
+// screen's per-index facts kept for the access-path pricing.
+type relIndex struct {
+	ix       *index.Index
+	eqLen    int
+	hasRange bool
+	covering bool
+}
+
+// nlChoice memoises nlInnerAccess for one (relevant set, inner column).
+type nlChoice struct {
+	acc        engine.Access
+	ok         bool
+	entryWidth float64 // leaf entry width (row width for clustered PK)
+}
+
+// relevantSet is one distinct relevant-index subset of a table, shared
+// across every configuration signature mapping to it. The access and nl
+// memos make repeat pricing under any such configuration allocation-free.
+type relevantSet struct {
+	ids      string // canonical fingerprint component: screened index ids
+	ixs      []relIndex
+	access   accessChoice
+	accessOK bool
+	nl       map[string]nlChoice
+}
+
+// qtable is the per-(query, table) planning state: everything ChoosePlan
+// previously recomputed per call that does not depend on the
+// configuration, plus the relevant-set memo that does.
+type qtable struct {
+	name         string
+	meta         *catalog.Table
+	preds        []query.Predicate // q.FiltersOn(name), computed once
+	joinCols     map[string]bool   // q.JoinColumnsOn(name) as a set
+	refCols      []string          // pred ∪ join ∪ payload columns (covering test)
+	filteredRows float64           // EstimateFilteredRows(meta, preds)
+	tablePages   float64           // CM.PagesOf(meta.SizeBytes())
+	rowWidth     float64           // float64(meta.RowWidthBytes())
+	seqCost      float64           // CM.TableScanSec(meta, len(preds))
+
+	sig      string       // TableSig of the relevant set currently loaded
+	relevant *relevantSet // nil until the first refresh
+	bySig    map[string]*relevantSet
+	byIDs    map[string]*relevantSet // interning: distinct sigs, same screen result
+}
+
+// queryEntry is one query instance's cache entry.
+type queryEntry struct {
+	mu     sync.Mutex
+	q      *query.Query
+	tables []*qtable // distinct tables, in first-appearance order
+	order  []int     // q.Tables[i] → index into tables
+	plans  map[string]*engine.Plan
+
+	// Epoch fast path: the last (config object, epoch) priced and its
+	// plan. The steady-state loop re-prices the same Config object with
+	// unchanged content, which this answers without touching signatures.
+	lastCfg   *index.Config
+	lastEpoch uint64
+	lastPlan  *engine.Plan
+
+	// Cold-path scratch, reused across misses.
+	fpBuf     []byte
+	joined    []bool
+	curSteps  []engine.JoinStep
+	bestSteps []engine.JoinStep
+}
+
+// choosePlan is the cached ChoosePlan.
+func (c *planCache) choosePlan(o *Optimizer, q *query.Query, cfg *index.Config) (*engine.Plan, error) {
+	c.mu.Lock()
+	e := c.entries[q]
+	if e == nil {
+		var err error
+		e, err = newQueryEntry(o, q)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if len(c.entries) >= maxCachedQueries {
+			c.entries = make(map[*query.Query]*queryEntry, maxCachedQueries)
+			c.invalidations.Add(1)
+		}
+		c.entries[q] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cfg != nil && cfg == e.lastCfg && cfg.Epoch() == e.lastEpoch && e.lastPlan != nil {
+		c.hits.Add(1)
+		return e.lastPlan, nil
+	}
+	for _, t := range e.tables {
+		c.refreshRelevant(o, t, cfg)
+	}
+	fp := e.fpBuf[:0]
+	for _, t := range e.tables {
+		fp = append(fp, t.relevant.ids...)
+		fp = append(fp, 0x1e)
+	}
+	e.fpBuf = fp
+	if plan, ok := e.plans[string(fp)]; ok {
+		c.hits.Add(1)
+		e.noteLast(cfg, plan)
+		return plan, nil
+	}
+	plan, err := o.planEntry(e)
+	if err != nil {
+		// Errors are never cached: every call re-derives and returns the
+		// identical message, exactly like the uncached path.
+		return nil, err
+	}
+	c.misses.Add(1)
+	if len(e.plans) >= maxPlansPerQuery {
+		e.plans = make(map[string]*engine.Plan, maxPlansPerQuery)
+		c.invalidations.Add(1)
+	}
+	e.plans[string(fp)] = plan
+	e.noteLast(cfg, plan)
+	return plan, nil
+}
+
+func (e *queryEntry) noteLast(cfg *index.Config, plan *engine.Plan) {
+	e.lastCfg = cfg
+	e.lastEpoch = cfg.Epoch()
+	e.lastPlan = plan
+}
+
+// newQueryEntry precomputes the query's configuration-independent
+// planning state. Error cases (no tables, unknown table) mirror the
+// uncached preamble byte for byte and are surfaced uncached.
+func newQueryEntry(o *Optimizer, q *query.Query) (*queryEntry, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("optimizer: query has no tables")
+	}
+	e := &queryEntry{q: q, plans: make(map[string]*engine.Plan)}
+	seen := make(map[string]int, len(q.Tables))
+	for _, name := range q.Tables {
+		if i, ok := seen[name]; ok {
+			e.order = append(e.order, i)
+			continue
+		}
+		meta, ok := o.Schema.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("optimizer: unknown table %q", name)
+		}
+		t := &qtable{
+			name:     name,
+			meta:     meta,
+			preds:    q.FiltersOn(name),
+			joinCols: make(map[string]bool),
+			bySig:    make(map[string]*relevantSet),
+			byIDs:    make(map[string]*relevantSet),
+		}
+		for _, col := range q.JoinColumnsOn(name) {
+			t.joinCols[col] = true
+		}
+		refSeen := make(map[string]bool)
+		addRef := func(col string) {
+			if !refSeen[col] {
+				refSeen[col] = true
+				t.refCols = append(t.refCols, col)
+			}
+		}
+		for _, p := range t.preds {
+			addRef(p.Column)
+		}
+		for _, col := range q.JoinColumnsOn(name) {
+			addRef(col)
+		}
+		for _, col := range q.PayloadColumnsOn(name) {
+			addRef(col)
+		}
+		t.filteredRows = EstimateFilteredRows(meta, t.preds)
+		t.tablePages = o.CM.PagesOf(meta.SizeBytes())
+		t.rowWidth = float64(meta.RowWidthBytes())
+		t.seqCost = o.CM.TableScanSec(meta, len(t.preds))
+		seen[name] = len(e.tables)
+		e.order = append(e.order, len(e.tables))
+		e.tables = append(e.tables, t)
+	}
+	e.joined = make([]bool, len(e.tables))
+	return e, nil
+}
+
+// refreshRelevant points the qtable at the relevant set for cfg's
+// current content, rescanning only when the table's signature has not
+// been seen before.
+func (c *planCache) refreshRelevant(o *Optimizer, t *qtable, cfg *index.Config) {
+	sig := cfg.TableSig(t.name)
+	if t.relevant != nil && sig == t.sig {
+		return
+	}
+	if rs, ok := t.bySig[sig]; ok {
+		t.sig, t.relevant = sig, rs
+		return
+	}
+	if t.relevant != nil {
+		c.invalidations.Add(1)
+	}
+	var list []*index.Index
+	if cfg != nil {
+		list = cfg.OnTable(t.name)
+	}
+	rs := t.screen(list)
+	if prev, ok := t.byIDs[rs.ids]; ok {
+		rs = prev
+	} else {
+		t.byIDs[rs.ids] = rs
+	}
+	if len(t.bySig) >= maxSetsPerTable {
+		clear(t.bySig)
+		clear(t.byIDs)
+		t.byIDs[rs.ids] = rs
+		c.invalidations.Add(1)
+	}
+	t.bySig[sig] = rs
+	t.sig, t.relevant = sig, rs
+}
+
+// screen filters the table's indexes down to the ones that can affect
+// any access decision for this query: a usable seek prefix, a covering
+// property, or a leading key column matching one of the query's join
+// columns on the table (the index-nested-loop requirement). Order is
+// preserved from cfg.OnTable, so downstream tie-breaking is identical
+// to the uncached scans.
+func (t *qtable) screen(list []*index.Index) *relevantSet {
+	rs := &relevantSet{}
+	n := 0
+	for _, ix := range list {
+		eqLen, hasRange := ix.SeekPrefix(t.preds)
+		covering := t.covers(ix)
+		if eqLen == 0 && !hasRange && !covering && !t.joinCols[ix.Key[0]] {
+			continue
+		}
+		rs.ixs = append(rs.ixs, relIndex{ix: ix, eqLen: eqLen, hasRange: hasRange, covering: covering})
+		n += len(ix.ID()) + 1
+	}
+	if len(rs.ixs) > 0 {
+		buf := make([]byte, 0, n-1)
+		for i, ri := range rs.ixs {
+			if i > 0 {
+				buf = append(buf, 0x1f)
+			}
+			buf = append(buf, ri.ix.ID()...)
+		}
+		rs.ids = string(buf)
+	}
+	return rs
+}
+
+// covers is index.CoversQueryOn over the precomputed referenced-column
+// union — same result, no per-call set allocations.
+func (t *qtable) covers(ix *index.Index) bool {
+	for _, col := range t.refCols {
+		if !ix.HasColumn(col) {
+			return false
+		}
+	}
+	return true
+}
+
+// planEntry is choosePlanUncached over the entry's memoised state: same
+// driver loop, same greedy completion, same tie-breaking, same floats.
+func (o *Optimizer) planEntry(e *queryEntry) (*engine.Plan, error) {
+	var (
+		haveBest           bool
+		bestCost, bestRows float64
+		bestDrv            engine.Access
+		firstErr           error
+	)
+	e.bestSteps = e.bestSteps[:0]
+	for _, ti := range e.order {
+		cost, rows, drv, err := o.planFromDriverEntry(e, ti)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !haveBest || cost < bestCost {
+			haveBest = true
+			bestCost, bestRows, bestDrv = cost, rows, drv
+			e.bestSteps, e.curSteps = e.curSteps, e.bestSteps
+		}
+	}
+	if !haveBest {
+		return nil, firstErr
+	}
+	plan := &engine.Plan{Query: e.q, Driver: bestDrv, EstRows: bestRows, EstCost: bestCost}
+	if len(e.bestSteps) > 0 {
+		plan.Steps = append([]engine.JoinStep(nil), e.bestSteps...)
+	}
+	return plan, nil
+}
+
+// tableIndex resolves a table name to its qtable position, -1 when the
+// name is not in the FROM list.
+func (e *queryEntry) tableIndex(name string) int {
+	for i, t := range e.tables {
+		if t.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// planFromDriverEntry is planFromDriver writing its join steps into
+// e.curSteps; the caller owns materialising the winner.
+func (o *Optimizer) planFromDriverEntry(e *queryEntry, driver int) (cost, curRows float64, drv engine.Access, err error) {
+	q := e.q
+	drvChoice := o.entryBestAccess(e.tables[driver])
+	drv = drvChoice.acc
+	cost = drvChoice.estCost
+	curRows = drvChoice.estRows
+	for i := range e.joined {
+		e.joined[i] = false
+	}
+	e.joined[driver] = true
+	e.curSteps = e.curSteps[:0]
+
+	remaining := len(q.Tables) - 1
+	for remaining > 0 {
+		type cand struct {
+			step    engine.JoinStep
+			estCost float64
+			outRows float64
+		}
+		var best *cand
+		for _, j := range q.Joins {
+			li, ri := e.tableIndex(j.LeftTable), e.tableIndex(j.RightTable)
+			ljoined := li >= 0 && e.joined[li]
+			rjoined := ri >= 0 && e.joined[ri]
+			var outerC, innerC string
+			var outerI, innerI int
+			var innerName string
+			switch {
+			case ljoined && !rjoined:
+				outerI, outerC, innerI, innerC, innerName = li, j.LeftColumn, ri, j.RightColumn, j.RightTable
+			case rjoined && !ljoined:
+				outerI, outerC, innerI, innerC, innerName = ri, j.RightColumn, li, j.LeftColumn, j.LeftTable
+			default:
+				continue
+			}
+			if innerI < 0 {
+				return 0, 0, engine.Access{}, fmt.Errorf("optimizer: join references table %q not in FROM list", innerName)
+			}
+			outer, inner := e.tables[outerI], e.tables[innerI]
+			outRows := JoinCardinality(curRows, outer.meta, outerC, inner.filteredRows, inner.meta, innerC)
+
+			innerChoice := o.entryBestAccess(inner)
+			hashCost := innerChoice.estCost + o.CM.HashJoinSec(innerChoice.estRows, curRows)
+			step := engine.JoinStep{
+				Pred:       j,
+				OuterTable: outer.name, OuterColumn: outerC,
+				InnerTable: inner.name, InnerColumn: innerC,
+				Inner: innerChoice.acc,
+				Algo:  engine.JoinHash,
+			}
+			c := cand{step: step, estCost: hashCost, outRows: outRows}
+
+			if nl := o.entryNLAccess(inner, innerC); nl.ok {
+				nlCost := o.entryEstimateNLJoin(inner, nl, curRows, outRows)
+				if nlCost < c.estCost {
+					c = cand{
+						step: engine.JoinStep{
+							Pred:       j,
+							OuterTable: outer.name, OuterColumn: outerC,
+							InnerTable: inner.name, InnerColumn: innerC,
+							Inner: nl.acc,
+							Algo:  engine.JoinIndexNL,
+						},
+						estCost: nlCost,
+						outRows: outRows,
+					}
+				}
+			}
+
+			if best == nil || c.outRows < best.outRows ||
+				(c.outRows == best.outRows && c.estCost < best.estCost) {
+				cc := c
+				best = &cc
+			}
+		}
+		if best == nil {
+			return 0, 0, engine.Access{}, fmt.Errorf("optimizer: query %d join graph is disconnected", q.TemplateID)
+		}
+		e.curSteps = append(e.curSteps, best.step)
+		cost += best.estCost
+		curRows = best.outRows
+		e.joined[e.tableIndex(best.step.InnerTable)] = true
+		remaining--
+	}
+
+	cost += o.CM.OutputSec(curRows, q.AggWidth)
+	return cost, curRows, drv, nil
+}
+
+// entryBestAccess is bestAccess over the relevant set, memoised per set.
+func (o *Optimizer) entryBestAccess(t *qtable) accessChoice {
+	rs := t.relevant
+	if rs.accessOK {
+		return rs.access
+	}
+	best := accessChoice{
+		acc:     engine.Access{Table: t.name, Kind: engine.AccessSeqScan},
+		estCost: t.seqCost,
+		estRows: t.filteredRows,
+	}
+	for _, ri := range rs.ixs {
+		if ri.eqLen == 0 && !ri.hasRange && !ri.covering {
+			continue // relevant only as an NL inner
+		}
+		entryWidth := float64(ri.ix.EntryWidthBytes(t.meta))
+		var cost float64
+		kind := engine.AccessIndexSeek
+		if ri.covering {
+			kind = engine.AccessIndexOnly
+		}
+		if ri.eqLen == 0 && !ri.hasRange {
+			cost = o.CM.IndexScanSec(float64(t.meta.RowCount), entryWidth, len(t.preds))
+		} else {
+			seekSel := o.seekSelectivity(t.meta, ri.ix, t.preds, ri.eqLen, ri.hasRange)
+			matchEst := seekSel * float64(t.meta.RowCount)
+			fetch := matchEst
+			if ri.covering {
+				fetch = 0
+			}
+			cost = o.CM.IndexSeekSec(matchEst, fetch, entryWidth, t.tablePages)
+			if resid := len(t.preds) - ri.eqLen; resid > 0 {
+				cost += matchEst * float64(resid) * o.CM.CPUPredSec
+			}
+		}
+		if cost < best.estCost {
+			best = accessChoice{
+				acc: engine.Access{
+					Table: t.name, Kind: kind, Index: ri.ix,
+					EqLen: ri.eqLen, HasRange: ri.hasRange, Covering: ri.covering,
+				},
+				estCost: cost,
+				estRows: t.filteredRows,
+			}
+		}
+	}
+	rs.access = best
+	rs.accessOK = true
+	return best
+}
+
+// entryNLAccess is nlInnerAccess memoised per (relevant set, inner
+// column). The screen keeps every index whose leading key column is a
+// join column of the table, so scanning rs.ixs visits exactly the
+// candidates the uncached scan would, in the same order.
+func (o *Optimizer) entryNLAccess(t *qtable, innerCol string) nlChoice {
+	rs := t.relevant
+	if nc, ok := rs.nl[innerCol]; ok {
+		return nc
+	}
+	var nc nlChoice
+	if len(t.meta.PK) > 0 && t.meta.PK[0] == innerCol {
+		nc = nlChoice{
+			acc:        engine.Access{Table: t.name, Kind: engine.AccessClusteredSeek},
+			ok:         true,
+			entryWidth: t.rowWidth,
+		}
+	} else {
+		var best *index.Index
+		bestCovering := false
+		for _, ri := range rs.ixs {
+			if len(ri.ix.Key) == 0 || ri.ix.Key[0] != innerCol {
+				continue
+			}
+			switch {
+			case best == nil,
+				ri.covering && !bestCovering,
+				ri.covering == bestCovering && ri.ix.EntryWidthBytes(t.meta) < best.EntryWidthBytes(t.meta):
+				best = ri.ix
+				bestCovering = ri.covering
+			}
+		}
+		if best != nil {
+			nc = nlChoice{
+				acc: engine.Access{
+					Table: t.name, Kind: engine.AccessIndexSeek, Index: best,
+					EqLen: 1, Covering: bestCovering,
+				},
+				ok:         true,
+				entryWidth: float64(best.EntryWidthBytes(t.meta)),
+			}
+		}
+	}
+	if rs.nl == nil {
+		rs.nl = make(map[string]nlChoice, 2)
+	}
+	rs.nl[innerCol] = nc
+	return nc
+}
+
+// entryEstimateNLJoin is estimateNLJoin over the memoised access choice.
+func (o *Optimizer) entryEstimateNLJoin(t *qtable, nc nlChoice, probeRows, outRows float64) float64 {
+	fetch := 0.0
+	if nc.acc.Kind != engine.AccessClusteredSeek && nc.acc.Index != nil && !nc.acc.Covering {
+		fetch = outRows
+	}
+	cost := o.CM.NLJoinSec(probeRows, outRows, fetch, nc.entryWidth, t.tablePages)
+	if n := len(t.preds); n > 0 {
+		cost += outRows * float64(n) * o.CM.CPUPredSec
+	}
+	return cost
+}

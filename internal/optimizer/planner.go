@@ -16,10 +16,24 @@ import (
 type Optimizer struct {
 	Schema *catalog.Schema
 	CM     *engine.CostModel
+
+	// cache is the config-fingerprinted plan/what-if cache (plancache.go);
+	// nil disables it and every ChoosePlan runs the full greedy search
+	// below. Both paths produce byte-identical plans and costs.
+	cache *planCache
 }
 
 // New returns an optimiser over the schema with the given cost model.
+// The plan cache is enabled; use NewUncached for the A/B control.
 func New(schema *catalog.Schema, cm *engine.CostModel) *Optimizer {
+	return &Optimizer{Schema: schema, CM: cm, cache: newPlanCache()}
+}
+
+// NewUncached returns an optimiser that re-runs the full greedy search
+// on every call — the pre-cache behaviour, kept both as the A/B control
+// (-plan-cache=false) and as the reference the cache-consistency
+// property tests compare against.
+func NewUncached(schema *catalog.Schema, cm *engine.CostModel) *Optimizer {
 	return &Optimizer{Schema: schema, CM: cm}
 }
 
@@ -34,7 +48,20 @@ type accessChoice struct {
 // using estimated costs: every table is tried as the driver, each driver's
 // plan is completed greedily, and the cheapest estimated plan wins. The
 // returned plan carries EstRows/EstCost.
+//
+// With the plan cache enabled (New), the search runs once per (query
+// instance, relevant-index fingerprint) and repeat calls return the
+// memoised plan; the returned *engine.Plan may be shared across calls
+// and must be treated as immutable, which engine.Execute honours.
 func (o *Optimizer) ChoosePlan(q *query.Query, cfg *index.Config) (*engine.Plan, error) {
+	if o.cache != nil {
+		return o.cache.choosePlan(o, q, cfg)
+	}
+	return o.choosePlanUncached(q, cfg)
+}
+
+// choosePlanUncached is the cache-free greedy search.
+func (o *Optimizer) choosePlanUncached(q *query.Query, cfg *index.Config) (*engine.Plan, error) {
 	if len(q.Tables) == 0 {
 		return nil, fmt.Errorf("optimizer: query has no tables")
 	}

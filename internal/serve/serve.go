@@ -48,6 +48,9 @@ type Options struct {
 	// correction (0 = exact rebase). Shift- and quarantine-triggered
 	// forgetting both go through it.
 	ForgetRank int
+	// DisablePlanCache turns off the optimiser's config-fingerprinted
+	// plan cache (A/B control; reports are byte-identical either way).
+	DisablePlanCache bool `json:",omitempty"`
 	// Guardrail configures the safety supervisor.
 	Guardrail GuardrailOptions
 }
@@ -121,15 +124,16 @@ func New(opts Options) (*Session, error) {
 		ForgetRank:   opts.ForgetRank,
 	}
 	e, err := env.New(env.Options{
-		Benchmark:     opts.Benchmark,
-		Regime:        env.Static,
-		ScaleFactor:   opts.ScaleFactor,
-		MaxStoredRows: opts.MaxStoredRows,
-		Seed:          opts.Seed,
-		MemoryBudgetX: opts.MemoryBudgetX,
-		MABOptions:    mabOpts,
-		DDQNSeed:      opts.Seed,
-		RandomSeed:    opts.Seed,
+		Benchmark:        opts.Benchmark,
+		Regime:           env.Static,
+		ScaleFactor:      opts.ScaleFactor,
+		MaxStoredRows:    opts.MaxStoredRows,
+		Seed:             opts.Seed,
+		MemoryBudgetX:    opts.MemoryBudgetX,
+		MABOptions:       mabOpts,
+		DDQNSeed:         opts.Seed,
+		RandomSeed:       opts.Seed,
+		DisablePlanCache: opts.DisablePlanCache,
 	})
 	if err != nil {
 		return nil, err
