@@ -115,7 +115,7 @@ bench:
 	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
 
 # Committed latest capture; bump when `make bench` commits a new one.
-BENCH_LATEST = BENCH_9c84fbd.json
+BENCH_LATEST = BENCH_5468017.json
 
 # Perf regression tripwire mirroring CI: re-runs the Observe/Scores
 # and recommend-round hot paths, captures them through benchjson, and
